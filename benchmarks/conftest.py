@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation artefacts (a table
+or a figure) through the experiment harness, times it with pytest-benchmark
+and prints the resulting rows so that running
+
+``pytest benchmarks/ --benchmark-only -s``
+
+reproduces the paper's evaluation section in one go.  Shape assertions (who
+wins, where the crossovers are) are included here as well, so a regression in
+the model or the schedules fails the benchmark run, not just the unit tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single round (the experiment functions are heavy)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,34 @@
+"""Section 3.2 — arithmetic collects and profitability of temporal folding.
+
+Regenerates the scalar profitability analysis of the paper's Section 3.2 for
+every linear benchmark: |C(E)|, |C(E_Λ)| (plain and optimised) and the
+profitability index.  For the 2-step 9-point box the row must read
+90 / 25 / 9 / 10.0 — the exact numbers in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import collects_analysis
+from repro.harness.report import format_experiment
+
+
+@pytest.mark.benchmark(group="collects")
+@pytest.mark.parametrize("m", [2, 3])
+def test_collects_and_profitability(benchmark, m):
+    result = run_once(benchmark, collects_analysis, m=m)
+    print()
+    print(format_experiment(result))
+
+    rows = {r["benchmark"]: r for r in result.rows}
+    if m == 2:
+        assert rows["2D9P"]["collect_naive"] == 90
+        assert rows["2D9P"]["collect_folded"] == 25
+        assert rows["2D9P"]["collect_optimized"] == 9
+        assert rows["2D9P"]["profitability"] == pytest.approx(10.0)
+        assert rows["GB"]["profitability"] < rows["2D9P"]["profitability"]
+    for row in result.rows:
+        assert row["profitability"] >= 1.0
+        assert row["collect_optimized"] <= row["collect_naive"]

@@ -1,0 +1,44 @@
+"""Figure 10 — scalability from 1 to 36 cores.
+
+Regenerates the paper's Figure 10: GFLOP/s of every tiled method as the core
+count grows, for each of the nine benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import SCALABILITY_CORES, figure10
+from repro.harness.report import pivot_rows
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_scalability(benchmark):
+    result = run_once(benchmark, figure10)
+    print()
+    for bench in sorted({r["benchmark"] for r in result.rows}):
+        subset = type(result)(
+            name=f"figure10-{bench}",
+            description=result.description,
+            rows=result.filter(benchmark=bench),
+            notes=result.notes,
+        )
+        print(pivot_rows(subset, "label", "cores", "gflops", float_fmt=".1f"))
+
+    benchmarks = sorted({r["benchmark"] for r in result.rows})
+    assert len(benchmarks) == 9
+    for bench in benchmarks:
+        for method in {r["method"] for r in result.filter(benchmark=bench)}:
+            rows = sorted(result.filter(benchmark=bench, method=method), key=lambda r: r["cores"])
+            gflops = [r["gflops"] for r in rows]
+            assert [r["cores"] for r in rows] == list(SCALABILITY_CORES)
+            # Adding cores never loses performance.  The 15% slack absorbs the
+            # step-function artefacts of the analytic model (per-core cache
+            # residency changes discretely as the problem is split further).
+            assert all(b >= a * 0.85 for a, b in zip(gflops, gflops[1:]))
+        # 1-D stencils scale close to linearly for our folded method.
+        if bench in ("1D-Heat", "1D5P"):
+            ours = sorted(result.filter(benchmark=bench, method="folded"), key=lambda r: r["cores"])
+            speedup36 = ours[-1]["gflops"] / ours[0]["gflops"]
+            assert speedup36 > 20.0

@@ -1,0 +1,51 @@
+"""Figure 8 — sequential block-free performance across storage levels.
+
+Regenerates the two panels of the paper's Figure 8 (total time steps 1000 and
+10000): absolute performance of the five vectorization methods for problem
+sizes resident in L1 / L2 / L3 / memory, single thread, no spatial or
+temporal blocking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import SEQUENTIAL_METHODS, STORAGE_LEVELS, figure8
+from repro.harness.report import pivot_rows
+
+
+@pytest.mark.benchmark(group="figure8")
+@pytest.mark.parametrize("isa", ["avx2", "avx512"])
+def test_figure8_blockfree(benchmark, isa):
+    result = run_once(benchmark, figure8, isa=isa)
+    print()
+    for time_steps in (1000, 10000):
+        subset = type(result)(
+            name=f"figure8-T{time_steps}-{isa}",
+            description=result.description,
+            rows=result.filter(time_steps=time_steps),
+            notes=result.notes,
+        )
+        print(pivot_rows(subset, "level", "label", "gflops"))
+
+    # Shape assertions mirroring the paper's reading of Figure 8.
+    for time_steps in (1000, 10000):
+        for level in STORAGE_LEVELS:
+            rows = {
+                r["method"]: r["gflops"]
+                for r in result.filter(level=level, time_steps=time_steps)
+            }
+            assert set(rows) == set(SEQUENTIAL_METHODS)
+            # Our 2-step folding wins at every storage level.
+            assert rows["folded"] == max(rows.values())
+            # Multiple loads never wins.
+            assert rows["multiple_loads"] <= 1.01 * min(rows.values()) or rows[
+                "multiple_loads"
+            ] <= 1.01 * min(rows["dlt"], rows["transpose"], rows["folded"])
+        # Performance decays monotonically from L1 towards memory for our method.
+        series = [
+            result.filter(level=level, time_steps=time_steps, method="folded")[0]["gflops"]
+            for level in STORAGE_LEVELS
+        ]
+        assert series[0] >= series[-1]

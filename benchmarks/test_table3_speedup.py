@@ -1,0 +1,49 @@
+"""Table 3 — speedup over a single core at 36 cores.
+
+Regenerates the paper's Table 3: 36-core speedups of every method for every
+stencil (SDSL rows are absent for APOP, Game of Life and GB, exactly as the
+paper marks them "-").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import table3
+from repro.harness.report import format_experiment
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_speedups(benchmark):
+    result = run_once(benchmark, table3)
+    print()
+    print(format_experiment(result, float_fmt=".1f"))
+
+    by_method = {row["method"]: row for row in result.rows}
+    assert set(by_method) == {
+        "SDSL",
+        "Tessellation",
+        "Our",
+        "Our (2 steps)",
+        "folded_avx512",
+    } or "Our (2 steps, AVX-512)" in by_method
+
+    # SDSL is unsupported for APOP / Game of Life / GB (paper's "-").
+    sdsl = by_method["SDSL"]
+    for bench in ("APOP", "Game of Life", "GB"):
+        assert sdsl[bench] is None
+
+    # Speedups are physical: between 1x and 36x.
+    for row in result.rows:
+        for key, value in row.items():
+            if key == "method" or value is None:
+                continue
+            assert 1.0 <= value <= 36.0
+
+    # Our methods scale at least as well as SDSL on the stencils SDSL supports.
+    ours = by_method["Our"]
+    for bench in ("1D-Heat", "1D5P", "2D-Heat", "2D9P", "3D-Heat", "3D27P"):
+        if sdsl[bench] is None or ours[bench] is None:
+            continue
+        assert ours[bench] >= sdsl[bench] * 0.9

@@ -1,0 +1,54 @@
+"""Section 2.3 / Figure 3 — register transpose kernels and layout transforms.
+
+Benchmarks the building blocks of the transpose layout: the simulated
+8-instruction 4×4 (AVX-2) and 24-instruction 8×8 (AVX-512) register
+transposes, and the NumPy layout transforms (local transpose layout vs the
+DLT global transform) at a memory-resident array size — the asymmetry
+between the two transform costs is part of the paper's motivation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layout.dlt import to_dlt_layout
+from repro.layout.transpose_layout import to_transpose_layout
+from repro.simd.isa import AVX2, AVX512
+from repro.simd.machine import SimdMachine
+from repro.simd.transpose import register_transpose
+from repro.simd.vector import Vector
+
+
+@pytest.mark.benchmark(group="register-transpose")
+@pytest.mark.parametrize("isa", [AVX2, AVX512], ids=["avx2-4x4", "avx512-8x8"])
+def test_register_transpose_kernel(benchmark, isa):
+    machine = SimdMachine(isa)
+    vl = isa.vector_lanes
+    rng = np.random.default_rng(0)
+    vectors = [Vector(row) for row in rng.uniform(size=(vl, vl))]
+
+    def kernel():
+        machine.reset()
+        return register_transpose(machine, vectors)
+
+    out = benchmark(kernel)
+    assert len(out) == vl
+    # The instruction counts of Section 2.3: 8 for AVX-2, 24 for AVX-512.
+    assert machine.counts.total == isa.transpose_instructions
+
+
+@pytest.mark.benchmark(group="layout-transform")
+@pytest.mark.parametrize("vl", [4, 8])
+def test_local_transpose_layout_transform(benchmark, vl):
+    arr = np.random.default_rng(1).uniform(size=1 << 20)
+    out = benchmark(to_transpose_layout, arr, vl)
+    assert out.shape == arr.shape
+
+
+@pytest.mark.benchmark(group="layout-transform")
+@pytest.mark.parametrize("vl", [4, 8])
+def test_dlt_global_transform(benchmark, vl):
+    arr = np.random.default_rng(2).uniform(size=1 << 20)
+    out = benchmark(to_dlt_layout, arr, vl)
+    assert out.shape == arr.shape

@@ -1,0 +1,80 @@
+"""2-D heat diffusion: every optimization path produces the same physics.
+
+Run with::
+
+    python examples/heat_diffusion_2d.py
+
+A Gaussian temperature bump diffuses on a plate with cold (Dirichlet)
+boundaries.  The same simulation is executed through four different paths of
+the library — the naive reference, the DLT-layout baseline, the 2-step folded
+engine and tessellate tiling with the concurrent tile executor — and the
+example reports the pairwise deviations (machine-epsilon level) together with
+the physical diagnostics (total heat, peak temperature) over time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Grid, StencilEngine, TessellationConfig
+from repro.parallel.executor import tessellate_run_parallel
+from repro.stencils.boundary import BoundaryCondition
+from repro.stencils.library import heat_2d
+from repro.stencils.reference import reference_run
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    spec = heat_2d(alpha=0.125)
+    shape = (96, 96)
+    steps = 60
+    grid = Grid.gaussian_bump(shape, boundary=BoundaryCondition.DIRICHLET, amplitude=100.0)
+    print(f"Diffusing a {shape} plate for {steps} steps with the {spec.npoints}-point heat stencil")
+    print(f"Initial peak temperature: {grid.values.max():.2f}, total heat: {grid.values.sum():.1f}")
+
+    # Reference solution.
+    reference = reference_run(spec, grid, steps)
+
+    # DLT baseline (computes in the dimension-lifted layout).
+    dlt_engine = StencilEngine(spec, method="dlt", isa="avx2")
+    dlt_result = dlt_engine.run(grid, steps)
+
+    # Our folded engine (2 steps per pass, exact Dirichlet band handling).
+    folded_engine = StencilEngine(spec, method="folded", isa="avx2", unroll=2)
+    folded_result = folded_engine.run(grid, steps)
+
+    # Tessellate tiling executed with concurrent tiles.
+    tiling = TessellationConfig(block_sizes=(32, 32), time_range=8)
+    tiled_result = tessellate_run_parallel(spec, grid, steps, tiling, workers=4)
+
+    rows = [
+        {"path": "DLT layout", "max |Δ| vs reference": float(np.max(np.abs(dlt_result - reference)))},
+        {"path": "folded (m=2)", "max |Δ| vs reference": float(np.max(np.abs(folded_result - reference)))},
+        {"path": "tessellated (4 workers)", "max |Δ| vs reference": float(np.max(np.abs(tiled_result - reference)))},
+    ]
+    print()
+    print(format_table(rows, float_fmt=".2e", title="Numerical agreement of the execution paths"))
+
+    # Physical diagnostics over time (using the folded engine).
+    diag_rows = []
+    snapshot = grid.copy()
+    previous_checkpoint = 0
+    for checkpoint in (0, 10, 20, 40, 60):
+        if checkpoint > previous_checkpoint:
+            snapshot = snapshot.with_values(
+                folded_engine.run(snapshot, checkpoint - previous_checkpoint)
+            )
+            previous_checkpoint = checkpoint
+        diag_rows.append(
+            {
+                "step": checkpoint,
+                "peak temperature": float(snapshot.values.max()),
+                "total heat": float(snapshot.values.sum()),
+            }
+        )
+    print(format_table(diag_rows, title="Diffusion diagnostics (folded engine)"))
+    print("Peak temperature decays and heat leaks through the cold boundary, as physics demands.")
+
+
+if __name__ == "__main__":
+    main()

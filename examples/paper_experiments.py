@@ -1,0 +1,21 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Run with::
+
+    python examples/paper_experiments.py            # everything
+    python examples/paper_experiments.py figure8    # a single artefact
+
+This is a thin wrapper around :mod:`repro.harness.runner`; the same code
+backs the pytest benchmarks, so the rows printed here are identical to the
+rows asserted there.  See ``EXPERIMENTS.md`` for the comparison against the
+numbers reported in the paper.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works with the legacy (non-PEP-660) editable-install
+path on environments without the ``wheel`` package — such as the offline
+environment this reproduction is developed in.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — reproduction of "Reducing Redundancy in Data Organization and
+Arithmetic Calculation for Stencil Computations" (SC'21).
+
+The package implements the paper's transpose data layout, temporal
+computation folding (with shifts reuse, tessellate-tiling integration and the
+linear-regression generalisation for arbitrary stencils), the baselines it
+compares against (multiple loads, data reorganisation, DLT, SDSL) and the
+substrates needed to evaluate everything from Python: a simulated SIMD
+machine with instruction accounting, a cache-hierarchy model and an analytic
+multicore performance model mirroring the paper's Xeon Gold 6140.
+
+Quick start
+-----------
+>>> from repro import StencilEngine, get_benchmark
+>>> case = get_benchmark("2d9p")
+>>> engine = StencilEngine(case.spec, method="folded", isa="avx2", unroll=2)
+>>> grid = case.make_grid()
+>>> result = engine.run(grid, steps=4)
+>>> report = engine.folding_report()
+>>> round(report.profitability_optimized, 1)
+10.0
+"""
+
+from repro.machine import (
+    MachineSpec,
+    MACHINES,
+    XEON_GOLD_6140_AVX2,
+    XEON_GOLD_6140_AVX512,
+    machine_for_isa,
+)
+from repro.methods import METHOD_KEYS, METHOD_LABELS, build_profile
+from repro.core.engine import StencilEngine, EngineConfig
+from repro.core.folding import analyze_folding, profitability, folding_matrix
+from repro.core.vectorized_folding import FoldingSchedule
+from repro.stencils.grid import Grid
+from repro.stencils.boundary import BoundaryCondition
+from repro.stencils.spec import StencilSpec, StencilShape
+from repro.stencils.library import BENCHMARKS, BenchmarkCase, get_benchmark
+from repro.stencils.reference import reference_run, reference_step
+from repro.tiling.tessellate import TessellationConfig, tessellate_run
+from repro.perfmodel.costmodel import estimate_performance, PerformanceEstimate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineSpec",
+    "MACHINES",
+    "XEON_GOLD_6140_AVX2",
+    "XEON_GOLD_6140_AVX512",
+    "machine_for_isa",
+    "METHOD_KEYS",
+    "METHOD_LABELS",
+    "build_profile",
+    "StencilEngine",
+    "EngineConfig",
+    "analyze_folding",
+    "profitability",
+    "folding_matrix",
+    "FoldingSchedule",
+    "Grid",
+    "BoundaryCondition",
+    "StencilSpec",
+    "StencilShape",
+    "BENCHMARKS",
+    "BenchmarkCase",
+    "get_benchmark",
+    "reference_run",
+    "reference_step",
+    "TessellationConfig",
+    "tessellate_run",
+    "estimate_performance",
+    "PerformanceEstimate",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Parameter search helpers.
+
+The paper tunes its stencil parameters (blocking sizes, unrolling factor) by
+hand and defers automatic tuning to future work; this subpackage provides the
+straightforward model-driven searches a user of the library needs:
+
+* :mod:`repro.autotune.blocksearch` — pick tessellation block sizes and time
+  range for a stencil/problem/machine combination by scoring candidates with
+  the analytic performance model,
+* :mod:`repro.autotune.foldsearch` — pick the temporal folding factor ``m``
+  by profitability under a register budget (Section 3.2's analysis turned
+  into a search).
+"""
+
+from repro.autotune.blocksearch import BlockSearchResult, search_blocking
+from repro.autotune.foldsearch import FoldSearchResult, search_unroll
+
+__all__ = [
+    "BlockSearchResult",
+    "search_blocking",
+    "FoldSearchResult",
+    "search_unroll",
+]

@@ -1,0 +1,125 @@
+"""Model-driven tessellation block-size search.
+
+Enumerates a small grid of candidate block sizes and time ranges, scores
+each with the analytic multicore model and returns the best configuration.
+The search deliberately stays coarse (powers-of-two-ish candidates): the
+performance model is not accurate enough to justify a fine-grained search,
+and the paper itself fixes its blocking sizes per stencil (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.machine import MachineSpec
+from repro.parallel.model import multicore_estimate
+from repro.perfmodel.profiles import MethodProfile
+from repro.tiling.tessellate import TessellationConfig
+
+
+@dataclass(frozen=True)
+class BlockSearchResult:
+    """Outcome of a blocking search.
+
+    Attributes
+    ----------
+    config:
+        The best tessellation configuration found.
+    gflops:
+        Modelled GFLOP/s of the best configuration.
+    candidates:
+        All evaluated ``(config, gflops)`` pairs, best first.
+    """
+
+    config: TessellationConfig
+    gflops: float
+    candidates: Tuple[Tuple[TessellationConfig, float], ...]
+
+
+def _candidate_blocks(extent: int, radius: int, time_range: int) -> List[int]:
+    """Candidate block sizes for one dimension."""
+    minimum = max(2 * radius * time_range, 8)
+    candidates = []
+    for block in (16, 32, 64, 100, 128, 200, 256, 400, 512, 1000, 2000, 4096):
+        if block < minimum or block > extent:
+            continue
+        candidates.append(block)
+    if not candidates and minimum <= extent:
+        candidates.append(minimum)
+    return candidates
+
+
+def search_blocking(
+    profile: MethodProfile,
+    grid_shape: Sequence[int],
+    radius: int,
+    machine: MachineSpec,
+    cores: int,
+    time_steps: int = 1000,
+    time_ranges: Sequence[int] = (8, 16, 32, 64),
+    max_candidates_per_dim: int = 4,
+) -> BlockSearchResult:
+    """Search block sizes and time range for one method profile.
+
+    Parameters
+    ----------
+    profile:
+        Steady-state method profile to tile.
+    grid_shape:
+        Spatial problem extents.
+    radius:
+        Stencil radius.
+    machine:
+        Machine description.
+    cores:
+        Core count to optimise for.
+    time_steps:
+        Total time steps (amortisation of layout overheads).
+    time_ranges:
+        Candidate temporal block depths.
+    max_candidates_per_dim:
+        Cap on spatial candidates per dimension to keep the search small.
+    """
+    dims = len(grid_shape)
+    scored: List[Tuple[TessellationConfig, float]] = []
+    for tr in time_ranges:
+        per_dim: List[List[Optional[int]]] = []
+        feasible = True
+        for extent in grid_shape:
+            cands = _candidate_blocks(int(extent), radius, tr)[:max_candidates_per_dim]
+            if not cands:
+                feasible = False
+                break
+            per_dim.append(list(cands))
+        if not feasible:
+            continue
+        # Use the same relative candidate rank in every dimension to avoid a
+        # combinatorial explosion (block shapes are roughly isotropic for the
+        # paper's stencils).
+        ranks = max(len(c) for c in per_dim)
+        for rank in range(ranks):
+            blocks = tuple(c[min(rank, len(c) - 1)] for c in per_dim)
+            config = TessellationConfig(block_sizes=blocks, time_range=tr)
+            est = multicore_estimate(
+                profile,
+                grid_shape=grid_shape,
+                time_steps=time_steps,
+                machine=machine,
+                cores=cores,
+                radius=radius,
+                tiling=config,
+            )
+            scored.append((config, est.gflops))
+    if not scored:
+        raise ValueError(
+            f"no feasible tessellation configuration for shape {tuple(grid_shape)} "
+            f"and radius {radius}"
+        )
+    scored.sort(key=lambda pair: -pair[1])
+    best_config, best_gflops = scored[0]
+    return BlockSearchResult(
+        config=best_config, gflops=best_gflops, candidates=tuple(scored)
+    )

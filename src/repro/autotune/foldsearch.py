@@ -1,0 +1,99 @@
+"""Unrolling-factor (temporal folding depth) search.
+
+Section 3.2's profitability index rises with ``m`` (more redundant
+arithmetic is folded away) but the folded neighbourhood radius ``m·r`` also
+rises, which increases the number of simultaneously live vectors during
+vertical folding and eventually spills registers — the balance the paper
+describes as "the existing work and straightforward implementation represent
+opposite extremes".  :func:`search_unroll` walks candidate ``m`` values,
+scores them with the analytic performance model (which includes the spill
+penalty through the instruction profile) and returns the best one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.core.folding import analyze_folding
+from repro.machine import MachineSpec, machine_for_isa
+from repro.methods import profile_folded
+from repro.perfmodel.costmodel import estimate_performance
+from repro.stencils.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class FoldSearchResult:
+    """Outcome of the unroll-factor search.
+
+    Attributes
+    ----------
+    best_m:
+        The chosen unrolling factor.
+    gflops:
+        Modelled single-core GFLOP/s at ``best_m``.
+    scores:
+        Modelled GFLOP/s for every candidate ``m``.
+    profitability:
+        Profitability index ``P(E, E_Λ)`` for every candidate ``m >= 2``.
+    """
+
+    best_m: int
+    gflops: float
+    scores: Dict[int, float]
+    profitability: Dict[int, float]
+
+
+def search_unroll(
+    spec: StencilSpec,
+    isa: str = "avx2",
+    candidates: Sequence[int] = (1, 2, 3, 4),
+    npoints: int = 1 << 22,
+    time_steps: int = 1000,
+    machine: MachineSpec | None = None,
+) -> FoldSearchResult:
+    """Pick the temporal folding factor for ``spec`` on ``isa``.
+
+    Parameters
+    ----------
+    spec:
+        Linear stencil to fold (non-linear stencils always return ``m`` = the
+        smallest candidate, since folding does not apply).
+    isa:
+        Target instruction set.
+    candidates:
+        Unroll factors to evaluate.
+    npoints:
+        Problem size used for the model evaluation (memory-resident by
+        default, where folding matters most).
+    time_steps:
+        Total time steps (amortisation).
+    machine:
+        Machine description; defaults to the paper's machine for ``isa``.
+    """
+    if not candidates:
+        raise ValueError("at least one candidate unroll factor is required")
+    machine = machine or machine_for_isa(isa)
+    scores: Dict[int, float] = {}
+    profitability: Dict[int, float] = {}
+    if not spec.linear:
+        m = min(candidates)
+        profile = profile_folded(spec, isa, m)
+        est = estimate_performance(profile, npoints, time_steps, machine)
+        return FoldSearchResult(
+            best_m=m, gflops=est.gflops, scores={m: est.gflops}, profitability={}
+        )
+    for m in candidates:
+        profile = profile_folded(spec, isa, m)
+        est = estimate_performance(profile, npoints, time_steps, machine)
+        scores[m] = est.gflops
+        if m >= 2:
+            report = analyze_folding(spec, m)
+            profitability[m] = report.profitability_optimized
+    best_m = max(scores, key=scores.get)
+    return FoldSearchResult(
+        best_m=best_m,
+        gflops=scores[best_m],
+        scores=scores,
+        profitability=profitability,
+    )

@@ -1,0 +1,79 @@
+"""Shared geometry and accounting helpers for the vectorization baselines.
+
+All the per-point instruction profiles reason about the same two geometric
+quantities of a stencil kernel:
+
+* the *innermost width* — how many distinct offsets the kernel spans along
+  the contiguous dimension (this is what generates unaligned accesses /
+  shuffles / assembled vectors), and
+* the number of *rows* — distinct combinations of the non-innermost offsets
+  with at least one non-zero weight (each row is one contiguous input stream
+  the kernel must read).
+
+The helpers here compute those from a :class:`~repro.stencils.spec.StencilSpec`
+and provide the instruction-count additions shared by every method (the
+non-linear post rules of APOP and Game of Life).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd.isa import InstructionClass
+from repro.simd.machine import InstructionCounts
+from repro.stencils.spec import StencilSpec
+
+
+def innermost_width(spec: StencilSpec) -> int:
+    """Number of innermost-dimension offsets spanned by non-zero weights."""
+    kernel = spec.kernel
+    flat = kernel.reshape(-1, kernel.shape[-1])
+    cols = np.any(flat != 0.0, axis=0)
+    return int(np.count_nonzero(cols))
+
+
+def kernel_rows(spec: StencilSpec) -> int:
+    """Distinct non-innermost offset combinations with non-zero weights.
+
+    1 for 1-D stencils, 3 for a 3×3 kernel, 5 for the 5-point star (its
+    centre row plus two vertical neighbours and — no: the star's rows are the
+    three leading offsets that carry any weight), 9 for a 3×3×3 box.
+    """
+    kernel = spec.kernel
+    if kernel.ndim == 1:
+        return 1
+    flat = kernel.reshape(-1, kernel.shape[-1])
+    rows = np.any(flat != 0.0, axis=1)
+    return int(np.count_nonzero(rows))
+
+
+def post_rule_counts(spec: StencilSpec, vl: int) -> InstructionCounts:
+    """Extra per-point instructions charged for a non-linear post rule.
+
+    APOP performs one vector ``max`` against the payoff array (which also
+    costs one extra load stream); Game of Life maps the neighbour count
+    through two compares and a select.  Linear stencils contribute nothing.
+    """
+    counts = InstructionCounts()
+    if spec.post_rule is None:
+        return counts
+    if spec.aux_name is not None:
+        counts.add(InstructionClass.LOAD, 1.0 / vl)
+        counts.add(InstructionClass.MAX, 1.0 / vl)
+    else:
+        counts.add(InstructionClass.ARITH, 2.0 / vl)
+        counts.add(InstructionClass.BLEND, 1.0 / vl)
+    return counts
+
+
+def weighted_sum_counts(spec: StencilSpec, vl: int) -> InstructionCounts:
+    """Arithmetic of the plain weighted sum: one mul plus ``npoints-1`` FMAs."""
+    counts = InstructionCounts()
+    counts.add(InstructionClass.ARITH, 1.0 / vl)
+    counts.add(InstructionClass.FMA, float(spec.npoints - 1) / vl)
+    return counts
+
+
+def streamed_arrays(spec: StencilSpec) -> int:
+    """Grid-sized arrays streamed per sweep (2 for Jacobi, 3 with an aux array)."""
+    return 3 if spec.aux_name is not None else 2

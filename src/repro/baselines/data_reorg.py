@@ -1,0 +1,66 @@
+"""Data-reorganisation vectorization baseline.
+
+The second class of compiler vectorization the paper discusses: each input
+stream (one per kernel row) is loaded once with aligned vector loads, and the
+shifted operand vectors needed for the innermost-dimension offsets are built
+*in registers* from pairs of adjacent aligned vectors.  On AVX-2 such a
+funnel shift of doubles takes two instructions (a lane-crossing
+``vperm2f128`` plus an in-lane ``shufpd``/``palignr`` equivalent); AVX-512
+has a single ``valignq``.
+
+Compared with multiple loads this trades load-port pressure for shuffle-port
+pressure; compared with the paper's transpose layout it spends roughly
+``vl/2`` times more data-organisation instructions per point, which is the
+gap Figure 8 measures at the L1/L2 levels.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import (
+    innermost_width,
+    kernel_rows,
+    post_rule_counts,
+    streamed_arrays,
+    weighted_sum_counts,
+)
+from repro.perfmodel.flops import useful_flops_per_point
+from repro.perfmodel.profiles import MethodProfile
+from repro.simd.isa import InstructionClass, isa_for
+from repro.simd.machine import InstructionCounts
+from repro.stencils.spec import StencilSpec
+
+
+def profile_data_reorg(spec: StencilSpec, isa: str = "avx2") -> MethodProfile:
+    """Build the per-point instruction profile of the data-reorganisation method."""
+    isa_spec = isa_for(isa)
+    vl = isa_spec.vector_lanes
+    rows = kernel_rows(spec)
+    width = innermost_width(spec)
+    counts = InstructionCounts()
+    # One aligned load per input row per output vector (neighbouring aligned
+    # vectors are kept from the previous iteration), one store.
+    counts.add(InstructionClass.LOAD, float(rows) / vl)
+    counts.add(InstructionClass.STORE, 1.0 / vl)
+    # Shifted operand vectors: (width - 1) per row, each built from two
+    # aligned registers — one ``valignq`` on AVX-512, a blend (any port) plus
+    # a lane-crossing permute on AVX-2.
+    shifted = rows * max(0, width - 1)
+    if isa_spec.name == "avx512":
+        counts.add(InstructionClass.PERMUTE, float(shifted) / vl)
+    else:
+        counts.add(InstructionClass.PERMUTE, float(shifted) / vl)
+        counts.add(InstructionClass.BLEND, float(shifted) / vl)
+    counts = counts.merge(weighted_sum_counts(spec, vl))
+    counts = counts.merge(post_rule_counts(spec, vl))
+    return MethodProfile(
+        method="data_reorg",
+        stencil=spec.name,
+        isa=isa,
+        counts_per_point=counts,
+        flops_per_point=useful_flops_per_point(spec),
+        sweeps_per_step=1.0,
+        layout_overhead_sweeps=0.0,
+        extra_arrays=0,
+        arrays=streamed_arrays(spec),
+        notes="aligned loads + in-register shifts for every innermost offset",
+    )

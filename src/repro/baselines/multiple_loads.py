@@ -1,0 +1,68 @@
+"""Multiple-loads vectorization baseline.
+
+This is the schedule a vectorizing compiler emits when it does not reorganise
+data at all: for every stencil point, the operand vector is obtained with its
+own (generally unaligned) vector load, and the update is a chain of FMAs.
+It needs no shuffles, but it re-reads each input element ``npoints`` times
+from the L1 cache and saturates the load ports, which is why the paper's
+Figure 8 shows it as the slowest method at every storage level.
+
+Numerically the method is identical to the reference executor (it computes
+the same weighted sum in the same order), so no separate NumPy executor is
+provided; the profile is what distinguishes it.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import (
+    kernel_rows,
+    post_rule_counts,
+    streamed_arrays,
+    weighted_sum_counts,
+)
+from repro.perfmodel.flops import useful_flops_per_point
+from repro.perfmodel.profiles import MethodProfile
+from repro.simd.isa import InstructionClass, isa_for
+from repro.simd.machine import InstructionCounts
+from repro.stencils.spec import StencilSpec
+
+
+def profile_multiple_loads(spec: StencilSpec, isa: str = "avx2") -> MethodProfile:
+    """Build the per-point instruction profile of the multiple-loads method.
+
+    Parameters
+    ----------
+    spec:
+        The stencil being executed.
+    isa:
+        ``"avx2"`` or ``"avx512"`` (sets the vector length).
+    """
+    isa_spec = isa_for(isa)
+    vl = isa_spec.vector_lanes
+    counts = InstructionCounts()
+    # One vector load per stencil point per output vector, one store.  Only
+    # the centre-offset load of each kernel row is aligned; the rest are
+    # unaligned neighbour loads, each of which also drags along the indexed
+    # address computation the compiler emits for it.
+    rows = kernel_rows(spec)
+    aligned = float(rows)
+    unaligned = float(max(0, spec.npoints - rows))
+    counts.add(InstructionClass.LOAD, aligned / vl)
+    if unaligned:
+        counts.add(InstructionClass.LOADU, unaligned / vl)
+        counts.add(InstructionClass.SCALAR, unaligned / vl)
+    counts.add(InstructionClass.STORE, 1.0 / vl)
+    counts = counts.merge(weighted_sum_counts(spec, vl))
+    counts = counts.merge(post_rule_counts(spec, vl))
+    return MethodProfile(
+        method="multiple_loads",
+        stencil=spec.name,
+        isa=isa,
+        counts_per_point=counts,
+        flops_per_point=useful_flops_per_point(spec),
+        sweeps_per_step=1.0,
+        layout_overhead_sweeps=0.0,
+        extra_arrays=0,
+        arrays=streamed_arrays(spec),
+        notes="unaligned load per stencil point, no data reorganisation",
+    )

@@ -1,0 +1,29 @@
+"""Cache hierarchy substrate.
+
+The paper's performance arguments are about *data movement*: how many bytes
+must cross each level of the cache hierarchy per stencil update, and how the
+transpose layout / temporal folding / tessellate tiling change that number.
+Real hardware counters are unavailable here, so this subpackage provides:
+
+* :mod:`repro.cache.hierarchy` — configuration objects derived from a
+  :class:`repro.machine.MachineSpec`,
+* :mod:`repro.cache.simulator` — an exact set-associative, write-back,
+  write-allocate LRU simulator used on small grids to validate the analytic
+  model and to expose locality differences between data layouts,
+* :mod:`repro.cache.analytic` — a working-set traffic model used at the
+  paper's problem sizes (where exact simulation from Python is infeasible).
+"""
+
+from repro.cache.hierarchy import CacheConfig, hierarchy_from_machine
+from repro.cache.simulator import CacheHierarchySimulator, CacheLevelStats
+from repro.cache.analytic import TrafficEstimate, estimate_traffic, residency_level
+
+__all__ = [
+    "CacheConfig",
+    "hierarchy_from_machine",
+    "CacheHierarchySimulator",
+    "CacheLevelStats",
+    "TrafficEstimate",
+    "estimate_traffic",
+    "residency_level",
+]

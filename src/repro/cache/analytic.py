@@ -1,0 +1,206 @@
+"""Analytic working-set traffic model.
+
+Exact cache simulation of the paper's problem sizes (up to 10,240,000 points
+× 1000 time steps) is not feasible from Python, so the experiment harness
+uses the standard working-set argument instead:
+
+* if the problem's working set fits in cache level ``L``, then after the
+  first (cold) sweep essentially no traffic crosses level ``L``'s outer
+  boundary;
+* otherwise every sweep over the grid streams the arrays through that
+  boundary: ``8`` bytes read of the source array, ``8`` bytes written of the
+  destination array and — for write-allocate caches — ``8`` bytes of
+  ownership read for the destination line, i.e. 24 bytes per point per sweep
+  for a Jacobi-style stencil with two arrays;
+* temporal blocking (tessellate tiling, and temporal computation folding
+  inside registers) divides the number of sweeps per time step.
+
+The model intentionally ignores halo/edge effects, conflict misses and
+prefetch imperfections: those perturb constants, not the crossover structure
+the reproduction needs to recover (which method wins at which residency
+level — the paper's Figure 8 / Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.machine import MachineSpec
+
+#: Streaming bytes per point per sweep for a two-array (Jacobi) stencil:
+#: one read stream + one write stream + write-allocate fill of the store.
+STREAM_BYTES_PER_POINT = 24.0
+
+#: Streaming bytes per point per sweep when the destination can be written
+#: with non-temporal stores or re-read immediately (no write-allocate): used
+#: for layout-transform sweeps.
+STREAM_BYTES_NO_ALLOCATE = 16.0
+
+
+def residency_level(working_set_bytes: float, machine: MachineSpec, cores_sharing_l3: int = 1) -> str:
+    """Return the innermost storage level that holds ``working_set_bytes``.
+
+    Parameters
+    ----------
+    working_set_bytes:
+        Total bytes of the arrays the kernel touches repeatedly.
+    machine:
+        Machine description supplying the cache capacities.
+    cores_sharing_l3:
+        Number of cores competing for the shared L3 (1 in the sequential
+        experiments).
+
+    Returns
+    -------
+    str
+        ``"L1"``, ``"L2"``, ``"L3"`` or ``"Memory"``.
+    """
+    if working_set_bytes <= 0:
+        raise ValueError("working_set_bytes must be positive")
+    for level in machine.caches:
+        capacity = level.capacity_bytes
+        if level.shared and cores_sharing_l3 > 1:
+            capacity = capacity / cores_sharing_l3
+        if working_set_bytes <= capacity:
+            return level.name
+    return "Memory"
+
+
+@dataclass
+class TrafficEstimate:
+    """Bytes per grid point per time step crossing each cache boundary.
+
+    Attributes
+    ----------
+    per_level:
+        Mapping from level name to bytes/point/step entering that level from
+        the next outer level.  ``"Memory"`` denotes the DRAM interface.
+    residency:
+        The innermost level holding the working set.
+    working_set_bytes:
+        The working set used for the estimate.
+    """
+
+    per_level: Dict[str, float] = field(default_factory=dict)
+    residency: str = "Memory"
+    working_set_bytes: float = 0.0
+
+    def bytes_from(self, level: str) -> float:
+        """Bytes/point/step fetched across the boundary of ``level`` (0 if absent)."""
+        return self.per_level.get(level, 0.0)
+
+    @property
+    def dram_bytes_per_point_per_step(self) -> float:
+        """Convenience accessor for the DRAM boundary."""
+        return self.bytes_from("Memory")
+
+
+def estimate_traffic(
+    working_set_bytes: float,
+    machine: MachineSpec,
+    sweeps_per_step: float = 1.0,
+    temporal_reuse: Dict[str, float] | None = None,
+    stream_bytes_per_point: float = STREAM_BYTES_PER_POINT,
+    extra_memory_sweeps_per_step: float = 0.0,
+    cores_sharing_l3: int = 1,
+) -> TrafficEstimate:
+    """Estimate per-level traffic for a stencil execution scheme.
+
+    Parameters
+    ----------
+    working_set_bytes:
+        Bytes of the repeatedly-touched arrays (normally ``2 * 8 * N`` for a
+        Jacobi stencil on ``N`` points; 3 arrays for APOP).
+    machine:
+        Machine description supplying cache capacities.
+    sweeps_per_step:
+        Full passes over the working set per logical time step.  ``1.0`` for
+        ordinary execution, ``0.5`` for 2-step temporal folding (two time
+        steps advance per pass), etc.
+    temporal_reuse:
+        Optional per-level reuse factors from temporal blocking: a tile kept
+        resident in level ``L`` for ``t`` consecutive time steps divides the
+        traffic crossing ``L``'s boundary by ``t``.  Keys are level names
+        (``"L3"``, ``"Memory"``...); missing levels default to 1.0.
+    stream_bytes_per_point:
+        Bytes per point per sweep when streaming (default: 24, two arrays
+        with write-allocate).
+    extra_memory_sweeps_per_step:
+        Additional full-array sweeps per step charged to the DRAM boundary
+        regardless of residency — used for the DLT global layout transforms,
+        which are amortised over the run by the caller.
+    cores_sharing_l3:
+        Cores competing for the L3 slice.
+
+    Returns
+    -------
+    TrafficEstimate
+        Bytes/point/step at every boundary plus the residency level.
+    """
+    if working_set_bytes <= 0:
+        raise ValueError("working_set_bytes must be positive")
+    if sweeps_per_step <= 0:
+        raise ValueError("sweeps_per_step must be positive")
+    temporal_reuse = dict(temporal_reuse or {})
+
+    residency = residency_level(working_set_bytes, machine, cores_sharing_l3)
+    level_names = [lvl.name for lvl in machine.caches] + ["Memory"]
+    residency_idx = level_names.index(residency)
+
+    per_level: Dict[str, float] = {}
+    base = stream_bytes_per_point * sweeps_per_step
+    for idx, name in enumerate(level_names):
+        if idx == 0:
+            # Traffic into L1 is governed by the instruction stream (vector
+            # loads/stores); the cost model accounts for it separately.
+            continue
+        if idx <= residency_idx:
+            reuse = max(1.0, temporal_reuse.get(name, 1.0))
+            per_level[name] = base / reuse
+        else:
+            per_level[name] = 0.0
+    if extra_memory_sweeps_per_step > 0.0:
+        per_level["Memory"] = per_level.get("Memory", 0.0) + (
+            STREAM_BYTES_NO_ALLOCATE * extra_memory_sweeps_per_step
+        )
+    return TrafficEstimate(
+        per_level=per_level,
+        residency=residency,
+        working_set_bytes=float(working_set_bytes),
+    )
+
+
+def problem_size_for_level(
+    machine: MachineSpec,
+    level: str,
+    bytes_per_point: float = 16.0,
+    fill_fraction: float = 0.5,
+) -> int:
+    """Return a point count whose working set sits inside ``level``.
+
+    Used to pick the Figure 8 problem sizes ("resident in L1 / L2 / L3 /
+    memory").  ``fill_fraction`` keeps some headroom below the capacity so
+    that boundary effects do not flip the residency; the ``"Memory"`` level
+    returns a problem four times larger than the last cache.
+
+    Parameters
+    ----------
+    machine:
+        Machine description.
+    level:
+        ``"L1"``, ``"L2"``, ``"L3"`` or ``"Memory"``.
+    bytes_per_point:
+        Working-set bytes per grid point (two arrays of doubles by default).
+    fill_fraction:
+        Fraction of the capacity to fill.
+    """
+    if not 0.0 < fill_fraction <= 1.0:
+        raise ValueError("fill_fraction must lie in (0, 1]")
+    caches = {lvl.name: lvl.capacity_bytes for lvl in machine.caches}
+    if level == "Memory":
+        capacity = max(caches.values()) * 4.0
+        return int(capacity / bytes_per_point)
+    if level not in caches:
+        raise KeyError(f"unknown level {level!r}")
+    return max(1, int(caches[level] * fill_fraction / bytes_per_point))

@@ -1,0 +1,112 @@
+"""Cache hierarchy configuration.
+
+Bridges :class:`repro.machine.MachineSpec` (which describes the paper's Xeon
+Gold 6140) and the exact simulator / analytic traffic model.  A
+:class:`CacheConfig` is just the subset of cache-level attributes those
+consumers need, with helpers for deriving set counts and for listing the
+capacity seen by a single core (the paper's sequential experiments) versus a
+full socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.machine import CacheLevelSpec, MachineSpec
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one simulated cache level.
+
+    Attributes
+    ----------
+    name:
+        Level name (``"L1"``, ``"L2"``, ``"L3"``).
+    capacity_bytes:
+        Capacity available to the simulated core.
+    line_bytes:
+        Cache line size.
+    associativity:
+        Number of ways per set.
+    """
+
+    name: str
+    capacity_bytes: int
+    line_bytes: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ValueError("cache geometry values must be positive")
+        lines = self.capacity_bytes // self.line_bytes
+        if lines % self.associativity != 0:
+            raise ValueError(
+                f"{self.name}: {lines} lines not divisible by associativity {self.associativity}"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (``lines / associativity``)."""
+        return self.num_lines // self.associativity
+
+
+def hierarchy_from_machine(
+    machine: MachineSpec,
+    cores_sharing_l3: int = 1,
+) -> List[CacheConfig]:
+    """Build the per-core cache configuration list for ``machine``.
+
+    Parameters
+    ----------
+    machine:
+        The machine description.
+    cores_sharing_l3:
+        How many cores share the L3 in the scenario being modelled; the L3
+        capacity seen by one core is divided accordingly (1 for the paper's
+        sequential block-free experiments, ``cores_per_socket`` for the
+        full-socket runs).
+
+    Returns
+    -------
+    list of CacheConfig
+        Levels ordered from L1 outwards.
+    """
+    if cores_sharing_l3 < 1:
+        raise ValueError("cores_sharing_l3 must be >= 1")
+    configs: List[CacheConfig] = []
+    for level in machine.caches:
+        capacity = level.capacity_bytes
+        associativity = level.associativity
+        if level.shared and cores_sharing_l3 > 1:
+            capacity = max(level.line_bytes * associativity, capacity // cores_sharing_l3)
+        # Keep the set count integral after partitioning the shared level.
+        lines = capacity // level.line_bytes
+        lines = max(associativity, (lines // associativity) * associativity)
+        capacity = lines * level.line_bytes
+        configs.append(
+            CacheConfig(
+                name=level.name,
+                capacity_bytes=capacity,
+                line_bytes=level.line_bytes,
+                associativity=associativity,
+            )
+        )
+    return configs
+
+
+def level_capacities(machine: MachineSpec) -> Tuple[Tuple[str, int], ...]:
+    """Return ``(name, capacity_bytes)`` for each level plus ``("Memory", inf-ish)``.
+
+    Convenience for choosing the problem sizes of the paper's Figure 8, whose
+    x-axis is "problem resident in L1 / L2 / L3 / memory".
+    """
+    out = [(lvl.name, lvl.capacity_bytes) for lvl in machine.caches]
+    out.append(("Memory", 1 << 62))
+    return tuple(out)

@@ -1,0 +1,205 @@
+"""Exact multi-level cache simulator.
+
+A straightforward set-associative, write-back, write-allocate, true-LRU
+simulator.  It is used on *small* grids to:
+
+* validate the analytic traffic model of :mod:`repro.cache.analytic`,
+* demonstrate the locality claims of the paper's Section 2 (the DLT layout
+  scatters the elements of one vector across distant lines, the local
+  transpose layout does not),
+* provide hit/miss evidence for the tiling ablations.
+
+Addresses are plain byte addresses; callers map array indices to addresses
+with :meth:`CacheHierarchySimulator.touch_array` or by doing their own
+``base + 8 * index`` arithmetic.  Python-level simulation costs make it
+unsuitable for the paper-scale grids — that is what the analytic model is
+for.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.hierarchy import CacheConfig
+
+
+@dataclass
+class CacheLevelStats:
+    """Hit/miss statistics of one cache level."""
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses that reached this level."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit rate in [0, 1]; ``0.0`` when the level was never accessed."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def bytes_from_below(self, line_bytes: int) -> int:
+        """Bytes fetched into this level from the level below (misses × line)."""
+        return self.misses * line_bytes
+
+
+class _SetAssociativeCache:
+    """One set-associative LRU cache level (internal helper)."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheLevelStats(name=config.name)
+        # One OrderedDict per set: tag -> dirty flag.  Most-recently-used last.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
+
+    def _locate(self, line_addr: int) -> Tuple[int, int]:
+        set_index = line_addr % self.config.num_sets
+        tag = line_addr // self.config.num_sets
+        return set_index, tag
+
+    def access(self, line_addr: int, is_write: bool) -> Tuple[bool, Optional[Tuple[int, bool]]]:
+        """Access one cache line.
+
+        Returns ``(hit, evicted)`` where ``evicted`` is ``None`` or a tuple
+        ``(line_addr, dirty)`` describing the victim line.
+        """
+        set_index, tag = self._locate(line_addr)
+        ways = self._sets[set_index]
+        evicted: Optional[Tuple[int, bool]] = None
+        if tag in ways:
+            self.stats.hits += 1
+            dirty = ways.pop(tag)
+            ways[tag] = dirty or is_write
+            return True, None
+        self.stats.misses += 1
+        if len(ways) >= self.config.associativity:
+            victim_tag, victim_dirty = ways.popitem(last=False)
+            victim_line = victim_tag * self.config.num_sets + set_index
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+            evicted = (victim_line, victim_dirty)
+        ways[tag] = is_write
+        return False, evicted
+
+    def invalidate_all(self) -> None:
+        """Drop every line (used between independent experiment phases)."""
+        for ways in self._sets:
+            ways.clear()
+
+
+class CacheHierarchySimulator:
+    """Inclusive multi-level cache hierarchy with DRAM as the final level.
+
+    Parameters
+    ----------
+    levels:
+        Cache configurations ordered from L1 outward.
+
+    Notes
+    -----
+    * The hierarchy is modelled as *non-exclusive* and writeback victims are
+      simply counted (they do not generate additional fills).
+    * ``dram_reads``/``dram_writes`` count cache lines moved to/from memory.
+    """
+
+    def __init__(self, levels: Sequence[CacheConfig]):
+        if not levels:
+            raise ValueError("at least one cache level is required")
+        self._levels = [_SetAssociativeCache(cfg) for cfg in levels]
+        self.line_bytes = levels[0].line_bytes
+        for cfg in levels:
+            if cfg.line_bytes != self.line_bytes:
+                raise ValueError("all levels must share one line size")
+        self.dram_reads = 0
+        self.dram_writes = 0
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def levels(self) -> List[CacheLevelStats]:
+        """Per-level statistics, ordered L1 outward."""
+        return [lvl.stats for lvl in self._levels]
+
+    def stats_by_name(self) -> Dict[str, CacheLevelStats]:
+        """Statistics keyed by level name."""
+        return {lvl.stats.name: lvl.stats for lvl in self._levels}
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total bytes exchanged with DRAM (reads + writebacks)."""
+        return (self.dram_reads + self.dram_writes) * self.line_bytes
+
+    def reset_stats(self) -> None:
+        """Zero all counters but keep cache contents."""
+        for lvl in self._levels:
+            lvl.stats = CacheLevelStats(name=lvl.config.name)
+        self.dram_reads = 0
+        self.dram_writes = 0
+
+    def flush(self) -> None:
+        """Invalidate every level (cold caches) and keep statistics."""
+        for lvl in self._levels:
+            lvl.invalidate_all()
+
+    # ------------------------------------------------------------------ #
+    # accesses
+    # ------------------------------------------------------------------ #
+    def access(self, byte_addr: int, size: int = 8, is_write: bool = False) -> None:
+        """Access ``size`` bytes starting at ``byte_addr``.
+
+        The access is split into the cache lines it touches; each line walks
+        down the hierarchy until it hits, allocating in every level it missed
+        (write-allocate) on the way back.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        first_line = byte_addr // self.line_bytes
+        last_line = (byte_addr + size - 1) // self.line_bytes
+        for line in range(first_line, last_line + 1):
+            self._access_line(line, is_write)
+
+    def _access_line(self, line_addr: int, is_write: bool) -> None:
+        for depth, level in enumerate(self._levels):
+            hit, evicted = level.access(line_addr, is_write)
+            if evicted is not None and depth == len(self._levels) - 1 and evicted[1]:
+                self.dram_writes += 1
+            if hit:
+                return
+        # Missed everywhere: one DRAM read fills the line.
+        self.dram_reads += 1
+
+    def touch_array(
+        self,
+        base_addr: int,
+        indices: Iterable[int],
+        itemsize: int = 8,
+        is_write: bool = False,
+    ) -> None:
+        """Access ``base_addr + itemsize * i`` for every ``i`` in ``indices``."""
+        for i in indices:
+            self.access(base_addr + itemsize * int(i), itemsize, is_write)
+
+    def sweep_array(
+        self,
+        base_addr: int,
+        n_items: int,
+        itemsize: int = 8,
+        is_write: bool = False,
+    ) -> None:
+        """Sequentially access an ``n_items`` array (one access per line)."""
+        total_bytes = n_items * itemsize
+        for line_start in range(0, total_bytes, self.line_bytes):
+            self.access(base_addr + line_start, min(self.line_bytes, total_bytes - line_start), is_write)

@@ -1,0 +1,284 @@
+"""The public execution engine.
+
+:class:`StencilEngine` is the API a downstream user of this library touches:
+pick a stencil, a vectorization method, an ISA and optionally a tiling
+configuration, then
+
+* :meth:`StencilEngine.run` — advance a grid numerically (fast NumPy paths;
+  always bit-comparable to the reference executor up to FP reassociation),
+* :meth:`StencilEngine.run_simulated` — execute the register-level schedule
+  on the simulated SIMD machine (small grids) and get the instruction tally
+  alongside the numerical result,
+* :meth:`StencilEngine.profile` — the steady-state per-point instruction
+  profile,
+* :meth:`StencilEngine.estimate` — modelled performance on the paper's
+  machine for a given problem size, time-step count and core count,
+* :meth:`StencilEngine.folding_report` — the Section 3.2 profitability
+  analysis for the engine's stencil and unrolling factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.dlt import dlt_run
+from repro.core.folding import ProfitabilityReport, analyze_folding
+from repro.core.vectorized_folding import FoldingSchedule
+from repro.layout.transpose_layout import from_transpose_layout, to_transpose_layout
+from repro.machine import MachineSpec, machine_for_isa
+from repro.methods import METHOD_KEYS, build_profile
+from repro.parallel.model import MulticoreConfig, multicore_estimate
+from repro.perfmodel.costmodel import PerformanceEstimate
+from repro.perfmodel.profiles import MethodProfile
+from repro.simd.isa import isa_for
+from repro.simd.machine import InstructionCounts, SimdMachine
+from repro.stencils.boundary import BoundaryCondition
+from repro.stencils.grid import Grid
+from repro.stencils.reference import reference_run, reference_step
+from repro.stencils.spec import StencilSpec
+from repro.tiling.tessellate import TessellationConfig, tessellate_run
+
+#: Methods accepted by the engine (the registry methods plus the plain
+#: reference executor).
+ENGINE_METHODS = ("reference",) + METHOD_KEYS
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of a :class:`StencilEngine`.
+
+    Attributes
+    ----------
+    method:
+        One of :data:`ENGINE_METHODS`.
+    isa:
+        ``"avx2"`` or ``"avx512"``.
+    unroll:
+        Temporal folding factor ``m`` (only used by the ``"folded"`` method).
+    tiling:
+        Optional tessellate-tiling configuration used by :meth:`StencilEngine.run`
+        and folded into the performance estimates.
+    shifts_reuse:
+        Whether the shifts-reuse optimisation is assumed by the instruction
+        profile (the ablation benchmarks switch it off).
+    """
+
+    method: str = "folded"
+    isa: str = "avx2"
+    unroll: int = 2
+    tiling: Optional[TessellationConfig] = None
+    shifts_reuse: bool = True
+
+
+class StencilEngine:
+    """Execute and analyse one stencil with one optimization method."""
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        method: str = "folded",
+        isa: str = "avx2",
+        unroll: int = 2,
+        tiling: Optional[TessellationConfig] = None,
+        shifts_reuse: bool = True,
+    ):
+        method = method.strip().lower()
+        if method not in ENGINE_METHODS:
+            raise KeyError(f"unknown method {method!r}; known: {ENGINE_METHODS}")
+        if unroll < 1:
+            raise ValueError("unroll must be >= 1")
+        self.spec = spec
+        self.config = EngineConfig(
+            method=method, isa=isa, unroll=unroll, tiling=tiling, shifts_reuse=shifts_reuse
+        )
+        self._isa = isa_for(isa)
+        self._schedule: Optional[FoldingSchedule] = None
+        if method == "folded" and spec.linear:
+            self._schedule = FoldingSchedule(spec, unroll)
+
+    # ------------------------------------------------------------------ #
+    # numerical execution
+    # ------------------------------------------------------------------ #
+    def run(self, grid: Grid, steps: int) -> np.ndarray:
+        """Advance ``grid`` by ``steps`` time steps and return the final values.
+
+        Every method produces the same numerical answer as the reference
+        executor (that is asserted by the test suite); what changes between
+        methods is *how* the answer is computed:
+
+        * ``"dlt"`` computes in the DLT layout (including its boundary-column
+          fixups),
+        * ``"folded"`` advances ``m`` steps at a time through the
+          vertical/horizontal folding path with exact Dirichlet boundary-band
+          handling,
+        * methods combined with a tiling configuration execute through the
+          tessellation tile schedule,
+        * the remaining methods share the reference arithmetic (their
+          distinction is the instruction schedule, visible through
+          :meth:`run_simulated` and :meth:`profile`).
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        method = self.config.method
+        if steps == 0:
+            return grid.values.copy()
+
+        if method == "dlt" and self.config.tiling is None:
+            return dlt_run(self.spec, grid, steps, vl=self._isa.vector_lanes)
+
+        if method == "folded" and self.spec.linear:
+            return self._run_folded(grid, steps)
+
+        if self.config.tiling is not None:
+            return tessellate_run(self.spec, grid, steps, self.config.tiling)
+
+        return reference_run(self.spec, grid, steps)
+
+    def _run_folded(self, grid: Grid, steps: int) -> np.ndarray:
+        """Folded fast path with exact Dirichlet boundary handling."""
+        assert self._schedule is not None
+        m = self.config.unroll
+        values = grid.values.copy()
+        remaining = steps
+        while remaining >= m:
+            folded = self._schedule.numpy_step(values, grid.boundary)
+            if grid.boundary is BoundaryCondition.DIRICHLET:
+                folded = self._fix_dirichlet_band(values, folded, m)
+            values = folded
+            remaining -= m
+        for _ in range(remaining):
+            values = reference_step(self.spec, values, grid.boundary, aux=grid.aux)
+        return values
+
+    def _fix_dirichlet_band(
+        self, before: np.ndarray, folded: np.ndarray, m: int
+    ) -> np.ndarray:
+        """Recompute the boundary band step-by-step (ghost-zone handling).
+
+        A folded ``m``-step update is exact only for points at distance
+        ``>= (m-1)·r`` from a Dirichlet boundary; the band closer than that is
+        recomputed with ``m`` single steps on a strip wide enough that the
+        strip's interior edge cannot contaminate the kept band.
+        """
+        radius = self.spec.radius
+        band = (m - 1) * radius
+        if band <= 0:
+            return folded
+        out = folded
+        strip_width = band + m * radius
+        for axis in range(before.ndim):
+            n = before.shape[axis]
+            width = min(strip_width, n)
+            for side in (0, 1):
+                strip = [slice(None)] * before.ndim
+                keep_local = [slice(None)] * before.ndim
+                keep_global = [slice(None)] * before.ndim
+                if side == 0:
+                    strip[axis] = slice(0, width)
+                    keep_local[axis] = slice(0, min(band, width))
+                    keep_global[axis] = slice(0, min(band, n))
+                else:
+                    strip[axis] = slice(n - width, n)
+                    keep_local[axis] = slice(width - min(band, width), width)
+                    keep_global[axis] = slice(n - min(band, n), n)
+                sub = before[tuple(strip)].copy()
+                for _ in range(m):
+                    sub = reference_step(self.spec, sub, BoundaryCondition.DIRICHLET)
+                out[tuple(keep_global)] = sub[tuple(keep_local)]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # simulated execution
+    # ------------------------------------------------------------------ #
+    def run_simulated(
+        self, grid: Grid, steps: int, machine: Optional[SimdMachine] = None
+    ) -> Tuple[np.ndarray, InstructionCounts]:
+        """Execute the register-level schedule on the simulated SIMD machine.
+
+        Supported for the ``"transpose"`` and ``"folded"`` methods on 1-D
+        grids (stored in the transpose layout for the duration of the run,
+        exactly as Section 2.2 prescribes) and on 2-D grids (original layout,
+        Figure 5 square pipeline).  Grids must be periodic and sized in
+        multiples of ``vl²`` (1-D) or ``vl`` (2-D).  Returns the final values
+        together with the instruction tally of the whole run.
+        """
+        if self.config.method not in ("transpose", "folded"):
+            raise ValueError("run_simulated supports the 'transpose' and 'folded' methods")
+        if not self.spec.linear:
+            raise ValueError("run_simulated requires a linear stencil")
+        if grid.boundary is not BoundaryCondition.PERIODIC:
+            raise ValueError("run_simulated requires periodic boundaries")
+        machine = machine or SimdMachine(self._isa)
+        m = self.config.unroll if self.config.method == "folded" else 1
+        if steps % m != 0:
+            raise ValueError(f"steps ({steps}) must be a multiple of the unroll factor {m}")
+        schedule = FoldingSchedule(self.spec, m)
+        vl = machine.vl
+        values = grid.values.copy()
+
+        if grid.dims == 1:
+            data = to_transpose_layout(values, vl)
+            for _ in range(steps // m):
+                data = schedule.simd_sweep_1d(machine, data)
+            return from_transpose_layout(data, vl), machine.counts
+        if grid.dims == 2:
+            for _ in range(steps // m):
+                values = schedule.simd_sweep_2d(machine, values)
+            return values, machine.counts
+        raise ValueError("run_simulated supports 1-D and 2-D grids")
+
+    # ------------------------------------------------------------------ #
+    # analysis
+    # ------------------------------------------------------------------ #
+    def profile(self) -> MethodProfile:
+        """Steady-state per-point instruction profile of the configured method."""
+        if self.config.method == "reference":
+            raise ValueError("the reference executor has no vectorized profile")
+        return build_profile(
+            self.config.method, self.spec, self.config.isa, self.config.unroll
+        )
+
+    def estimate(
+        self,
+        problem_shape: Sequence[int],
+        time_steps: int,
+        cores: int = 1,
+        machine: Optional[MachineSpec] = None,
+        multicore: MulticoreConfig = MulticoreConfig(),
+    ) -> PerformanceEstimate:
+        """Modelled performance for a problem of ``problem_shape`` over ``time_steps``.
+
+        Parameters
+        ----------
+        problem_shape:
+            Spatial extents of the problem (paper scale or otherwise).
+        time_steps:
+            Total time steps.
+        cores:
+            Active cores (1 for the sequential experiments).
+        machine:
+            Machine description; defaults to the paper's Xeon Gold 6140 in
+            the engine's ISA configuration.
+        multicore:
+            Overhead parameters of the multicore model.
+        """
+        machine = machine or machine_for_isa(self.config.isa)
+        return multicore_estimate(
+            self.profile(),
+            grid_shape=problem_shape,
+            time_steps=time_steps,
+            machine=machine,
+            cores=cores,
+            radius=self.spec.radius,
+            tiling=self.config.tiling,
+            config=multicore,
+        )
+
+    def folding_report(self) -> ProfitabilityReport:
+        """Profitability analysis (Section 3.2) for the engine's unroll factor."""
+        if not self.spec.linear:
+            raise ValueError("folding profitability is defined for linear stencils only")
+        return analyze_folding(self.spec, max(2, self.config.unroll))

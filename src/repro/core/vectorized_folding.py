@@ -1,0 +1,566 @@
+"""Vectorised multi-step computation (paper Section 3.3, Figure 5).
+
+A :class:`FoldingSchedule` bundles everything needed to execute an ``m``-step
+folded update of a linear stencil:
+
+* the folding matrix Λ (``m``-fold self-convolution of the kernel),
+* the counterpart plan — which distinct vertical-fold weight vectors have to
+  be materialised, which are reused via the Section 3.5 regression, and which
+  horizontal weight each relative position contributes,
+* three executors:
+
+  - :meth:`FoldingSchedule.numpy_step` — a fast NumPy path that mirrors the
+    vertical-folding → horizontal-folding structure (including counterpart
+    reuse) and is exact for periodic boundaries; the engine adds the
+    Dirichlet boundary-band handling,
+  - :meth:`FoldingSchedule.simd_sweep_1d` — the register-level schedule for
+    1-D stencils stored in the transpose layout, executed on the simulated
+    SIMD machine (vector sets, assembled dependence vectors, Figure 2),
+  - :meth:`FoldingSchedule.simd_sweep_2d` — the register-level schedule for
+    2-D stencils in the original layout (load rows → vertical folding →
+    register transpose → horizontal folding → weighted transpose → store,
+    Figure 5), with shifts reuse between horizontally adjacent squares.
+
+* an analytic per-point instruction profile used by the performance model.
+
+``m = 1`` degenerates to the paper's Section 2 scheme (no temporal folding,
+just the transpose-layout vectorisation), so the same class also serves as
+"our method" without time folding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from repro.core.regression import CounterpartPlan, plan_counterparts
+from repro.simd.isa import InstructionClass
+from repro.simd.kernels import neighbor_vectors_1d
+from repro.simd.machine import InstructionCounts, SimdMachine
+from repro.simd.transpose import register_transpose, transpose_cost
+from repro.stencils.boundary import BoundaryCondition, DIRICHLET_VALUE
+from repro.stencils.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class MaterializedCounterpart:
+    """A counterpart that is actually computed during vertical folding.
+
+    Attributes
+    ----------
+    vector:
+        Weight vector over the leading-dimension offsets (the rows of Λ for a
+        2-D stencil, the flattened non-innermost offsets in general).
+    mode:
+        ``"direct"`` or ``"combination"`` (scaled counterparts are never
+        materialised — their scale is absorbed into the horizontal weights).
+    omega:
+        For ``"combination"``: coefficients over previously *materialised*
+        counterparts (indices into the materialised list).
+    bias:
+        For ``"combination"``: residual weights applied directly to the grid.
+    """
+
+    vector: np.ndarray
+    mode: str
+    omega: Dict[int, float]
+    bias: np.ndarray
+
+
+class FoldingSchedule:
+    """Executable plan for an ``m``-step folded update of a linear stencil.
+
+    Parameters
+    ----------
+    spec:
+        The (linear) stencil to fold.
+    m:
+        Unrolling factor — number of time steps advanced per update.
+    """
+
+    def __init__(self, spec: StencilSpec, m: int):
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        if not spec.linear:
+            raise ValueError(f"stencil {spec.name!r} is non-linear; folding is undefined")
+        self.spec = spec
+        self.m = m
+        self.folded = spec.compose(m)
+        self.matrix = self.folded.kernel
+        self.dims = self.matrix.ndim
+        self.radius = self.folded.radius
+        self.width = 2 * self.radius + 1
+        self.plan: CounterpartPlan = plan_counterparts(self.matrix)
+        self._build_materialization()
+
+    # ------------------------------------------------------------------ #
+    # counterpart materialisation
+    # ------------------------------------------------------------------ #
+    def _build_materialization(self) -> None:
+        """Derive materialised counterparts and the per-position horizontal map."""
+        steps = self.plan.steps
+        # plan-step index -> (materialised index, scale) once resolved.
+        resolved: Dict[int, Tuple[int, float]] = {}
+        materialized: List[MaterializedCounterpart] = []
+
+        for step in steps:
+            if step.mode == "scaled":
+                # Exactly one omega entry referencing a previous plan step.
+                (ref_plan_idx, scale), = step.omega.items()
+                base_idx, base_scale = resolved[ref_plan_idx]
+                resolved[step.index] = (base_idx, scale * base_scale)
+                continue
+            omega_materialized: Dict[int, float] = {}
+            if step.mode == "combination":
+                for ref_plan_idx, w in step.omega.items():
+                    base_idx, base_scale = resolved[ref_plan_idx]
+                    omega_materialized[base_idx] = (
+                        omega_materialized.get(base_idx, 0.0) + w * base_scale
+                    )
+            materialized.append(
+                MaterializedCounterpart(
+                    vector=step.vector.copy(),
+                    mode=step.mode,
+                    omega=omega_materialized,
+                    bias=step.bias.copy(),
+                )
+            )
+            resolved[step.index] = (len(materialized) - 1, 1.0)
+
+        # Horizontal map: for every relative innermost position, which
+        # materialised counterpart feeds it and with what weight.
+        flat = self.matrix.reshape(-1, self.matrix.shape[-1]) if self.dims > 1 else self.matrix.reshape(1, -1)
+        position_map: List[Optional[Tuple[int, float]]] = [None] * flat.shape[1]
+        for step in steps:
+            mat_idx, scale = resolved[step.index]
+            for pos in step.positions:
+                position_map[pos] = (mat_idx, scale)
+        self.materialized: Tuple[MaterializedCounterpart, ...] = tuple(materialized)
+        self.position_map: Tuple[Optional[Tuple[int, float]], ...] = tuple(position_map)
+
+    @property
+    def num_materialized(self) -> int:
+        """Number of counterparts that are actually computed per column."""
+        return len(self.materialized)
+
+    @property
+    def separable_fast_path(self) -> bool:
+        """True when a single materialised counterpart suffices (Section 3.3)."""
+        return self.num_materialized == 1
+
+    # ------------------------------------------------------------------ #
+    # NumPy execution path
+    # ------------------------------------------------------------------ #
+    def _leading_kernel(self, vector: np.ndarray) -> np.ndarray:
+        """Reshape a counterpart vector to a kernel over the leading dimensions.
+
+        The returned kernel has the folded matrix's leading extents and a
+        trailing extent of 1, so it can be fed to ``ndimage.correlate`` to
+        perform the vertical folding over every grid column at once.
+        """
+        if self.dims == 1:
+            return vector.reshape(1)
+        leading_shape = self.matrix.shape[:-1]
+        return vector.reshape(leading_shape + (1,))
+
+    def numpy_step(self, values: np.ndarray, boundary: BoundaryCondition) -> np.ndarray:
+        """Advance ``values`` by ``m`` time steps via vertical+horizontal folding.
+
+        For periodic boundaries the result is exactly ``m`` applications of
+        the single-step reference; for Dirichlet boundaries interior points at
+        distance ``>= (m-1)·r`` from the boundary are exact and the engine
+        recomputes the remaining band (see
+        :meth:`repro.core.engine.StencilEngine.run`).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != self.dims:
+            raise ValueError(
+                f"grid has {values.ndim} dimensions, folded stencil has {self.dims}"
+            )
+        mode = boundary.ndimage_mode
+
+        if self.dims == 1:
+            # 1-D: the "vertical" direction does not exist; the update is a
+            # plain correlation with the folded kernel.
+            return ndimage.correlate(values, self.matrix, mode=mode, cval=DIRICHLET_VALUE)
+
+        # Vertical folding: one correlation per materialised counterpart
+        # (combinations reuse previous results plus a sparse bias).
+        vertical: List[np.ndarray] = []
+        for cp in self.materialized:
+            if cp.mode == "direct":
+                vf = ndimage.correlate(
+                    values, self._leading_kernel(cp.vector), mode=mode, cval=DIRICHLET_VALUE
+                )
+            else:
+                vf = np.zeros_like(values)
+                for idx, w in cp.omega.items():
+                    vf = vf + w * vertical[idx]
+                if np.any(cp.bias):
+                    vf = vf + ndimage.correlate(
+                        values, self._leading_kernel(cp.bias), mode=mode, cval=DIRICHLET_VALUE
+                    )
+            vertical.append(vf)
+
+        # Horizontal folding: shift each counterpart field along the innermost
+        # axis and accumulate with the per-position weights.
+        out = np.zeros_like(values)
+        radius_last = (self.matrix.shape[-1] - 1) // 2
+        axis = self.dims - 1
+        for pos, entry in enumerate(self.position_map):
+            if entry is None:
+                continue
+            mat_idx, weight = entry
+            offset = pos - radius_last
+            shifted = _shift_along_axis(vertical[mat_idx], offset, axis, boundary)
+            out += weight * shifted
+        return out
+
+    # ------------------------------------------------------------------ #
+    # simulated SIMD execution: 1-D (transpose layout)
+    # ------------------------------------------------------------------ #
+    def simd_sweep_1d(
+        self,
+        machine: SimdMachine,
+        values_t: np.ndarray,
+        out_t: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One folded update of a 1-D grid stored in the transpose layout.
+
+        Parameters
+        ----------
+        machine:
+            The simulated SIMD machine (its ``vl`` defines the layout block).
+        values_t:
+            1-D array already in transpose layout (see
+            :mod:`repro.layout.transpose_layout`); its length must be a
+            multiple of ``vl²`` and the boundary is periodic.
+        out_t:
+            Optional output array (also in transpose layout); a new array is
+            allocated when omitted.
+
+        Returns
+        -------
+        numpy.ndarray
+            The updated grid, still in transpose layout.
+        """
+        if self.dims != 1:
+            raise ValueError("simd_sweep_1d applies to 1-D stencils only")
+        vl = machine.vl
+        n = values_t.size
+        block = vl * vl
+        if n % block != 0:
+            raise ValueError(f"array length {n} must be a multiple of vl²={block}")
+        radius = self.radius
+        if radius > vl:
+            raise ValueError(
+                f"folded radius {radius} exceeds the vector length {vl}; "
+                "the assembled-vector construction supports radius <= vl"
+            )
+        if out_t is None:
+            out_t = np.empty_like(values_t)
+        nsets = n // block
+        weights = [float(w) for w in self.matrix]
+        weight_vecs = [machine.broadcast(w) for w in weights]
+
+        def load_set(set_idx: int):
+            base = (set_idx % nsets) * block
+            return [machine.load(values_t, base + j * vl) for j in range(vl)]
+
+        def load_partial(set_idx: int, needed: Sequence[int]):
+            """Load only the registers of a neighbouring set that assembly uses."""
+            base = (set_idx % nsets) * block
+            out_regs: List = [None] * vl
+            for j in needed:
+                out_regs[j] = machine.load(values_t, base + j * vl)
+            return out_regs
+
+        prev_needed = sorted({(vl - k) % vl for k in range(1, radius + 1)})
+        next_needed = sorted({k - 1 for k in range(1, radius + 1)})
+        for s in range(nsets):
+            current = load_set(s)
+            previous = load_partial(s - 1, prev_needed)
+            nxt = load_partial(s + 1, next_needed)
+            cols = neighbor_vectors_1d(machine, current, previous, nxt, radius)
+            machine.note_live_registers(len(cols) + len(weight_vecs) + 1)
+            base = s * block
+            for j in range(vl):
+                window = cols[j : j + 2 * radius + 1]
+                acc = machine.mul(window[0], weight_vecs[0])
+                for t in range(1, len(window)):
+                    acc = machine.fma(window[t], weight_vecs[t], acc)
+                machine.store(acc, out_t, base + j * vl)
+        return out_t
+
+    # ------------------------------------------------------------------ #
+    # simulated SIMD execution: 2-D (Figure 5 squares)
+    # ------------------------------------------------------------------ #
+    def simd_sweep_2d(
+        self,
+        machine: SimdMachine,
+        values: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        transpose_back: bool = True,
+    ) -> np.ndarray:
+        """One folded update of a 2-D grid via the Figure 5 square pipeline.
+
+        The grid stays in the original row-major layout; each ``vl × vl``
+        square is processed as: load its rows (plus ``2R`` halo rows) →
+        vertical folding into the materialised counterparts → register
+        transpose → horizontal folding using the transposed counterparts of
+        the previous / current / next square (shifts reuse) → transpose back →
+        store.  Boundaries are periodic and both extents must be multiples of
+        ``vl``.
+
+        Parameters
+        ----------
+        machine:
+            Simulated SIMD machine.
+        values:
+            2-D ``float64`` grid.
+        out:
+            Optional output grid.
+        transpose_back:
+            Store results in the original row orientation (the default).  The
+            paper's "weighted transpose is optional" alternative — storing the
+            transposed orientation and letting the next sweep consume it — is
+            modelled by passing ``False`` (used by the ablation benchmarks).
+        """
+        if self.dims != 2:
+            raise ValueError("simd_sweep_2d applies to 2-D stencils only")
+        vl = machine.vl
+        rows, cols = values.shape
+        if rows % vl != 0 or cols % vl != 0:
+            raise ValueError(f"grid shape {values.shape} must be a multiple of vl={vl}")
+        radius = self.radius
+        if radius > vl:
+            raise ValueError("folded radius must not exceed the vector length")
+        if out is None:
+            out = np.empty_like(values)
+
+        n_row_blocks = rows // vl
+        n_col_blocks = cols // vl
+        row_weights = [
+            [machine.broadcast(float(w)) for w in cp.vector] for cp in self.materialized
+        ]
+        bias_weights = [
+            [machine.broadcast(float(w)) for w in cp.bias] if np.any(cp.bias) else None
+            for cp in self.materialized
+        ]
+        omega_weights = [
+            {idx: machine.broadcast(float(w)) for idx, w in cp.omega.items()}
+            for cp in self.materialized
+        ]
+        horiz_weights = [
+            None if entry is None else (entry[0], machine.broadcast(float(entry[1])))
+            for entry in self.position_map
+        ]
+
+        def load_rows(block_row: int, block_col: int) -> List:
+            """Load the vl + 2R row vectors feeding one square's vertical folds."""
+            base_row = block_row * vl
+            col0 = block_col * vl
+            loaded = []
+            for s in range(-radius, vl + radius):
+                r = (base_row + s) % rows
+                loaded.append(machine.load(values[r], col0))
+            return loaded
+
+        def vertical_and_transpose(block_row: int, block_col: int) -> List[List]:
+            """Vertical folds of one square, transposed, per materialised counterpart."""
+            loaded = load_rows(block_row, block_col)
+            machine.note_live_registers(len(loaded) + vl + len(self.materialized) * vl)
+            per_cp: List[List] = []
+            for ci, cp in enumerate(self.materialized):
+                folded_rows = []
+                for oi in range(vl):
+                    if cp.mode == "direct":
+                        window = loaded[oi : oi + 2 * radius + 1]
+                        acc = machine.mul(window[0], row_weights[ci][0])
+                        for t in range(1, len(window)):
+                            acc = machine.fma(window[t], row_weights[ci][t], acc)
+                    else:
+                        acc = None
+                        for idx, wvec in omega_weights[ci].items():
+                            term = machine.mul(per_cp[idx][oi], wvec)
+                            acc = term if acc is None else machine.add(acc, term)
+                        if bias_weights[ci] is not None:
+                            window = loaded[oi : oi + 2 * radius + 1]
+                            for t in range(len(window)):
+                                if float(cp.bias[t]) != 0.0:
+                                    if acc is None:
+                                        acc = machine.mul(window[t], bias_weights[ci][t])
+                                    else:
+                                        acc = machine.fma(window[t], bias_weights[ci][t], acc)
+                        if acc is None:
+                            acc = machine.broadcast(0.0)
+                    folded_rows.append(acc)
+                per_cp.append(register_transpose(machine, folded_rows))
+            return per_cp
+
+        for br in range(n_row_blocks):
+            prev_t = vertical_and_transpose(br, n_col_blocks - 1)
+            cur_t = vertical_and_transpose(br, 0)
+            for bc in range(n_col_blocks):
+                next_t = vertical_and_transpose(br, (bc + 1) % n_col_blocks)
+                # Horizontal folding: output column k uses transposed columns
+                # k - R .. k + R drawn from the previous / current / next
+                # squares' transposed counterparts (shifts reuse).
+                out_cols = []
+                for k in range(vl):
+                    acc = None
+                    for pos, entry in enumerate(horiz_weights):
+                        if entry is None:
+                            continue
+                        mat_idx, wvec = entry
+                        col = k + (pos - radius)
+                        if col < 0:
+                            source = prev_t[mat_idx][vl + col]
+                        elif col >= vl:
+                            source = next_t[mat_idx][col - vl]
+                        else:
+                            source = cur_t[mat_idx][col]
+                        if acc is None:
+                            acc = machine.mul(source, wvec)
+                        else:
+                            acc = machine.fma(source, wvec, acc)
+                    out_cols.append(acc)
+                base_row = br * vl
+                col0 = bc * vl
+                if transpose_back:
+                    out_rows = register_transpose(machine, out_cols)
+                    for oi in range(vl):
+                        machine.store(out_rows[oi], out[base_row + oi], col0)
+                else:
+                    for k in range(vl):
+                        machine.store(out_cols[k], out[base_row + k], col0)
+                prev_t, cur_t = cur_t, next_t
+        if not transpose_back:
+            # The caller receives logically-transposed vl×vl tiles; undo them
+            # here (outside the instruction accounting) so the numerical
+            # result is comparable — a real implementation alternates layouts
+            # between time steps instead.
+            out = _untranspose_tiles(out, vl)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # analytic instruction profile
+    # ------------------------------------------------------------------ #
+    def instruction_profile(self, vl: int, shifts_reuse: bool = True) -> InstructionCounts:
+        """Per-grid-point, per-*logical*-time-step instruction counts.
+
+        The counts describe the steady-state inner loop of the 2-D square
+        pipeline (1-D stencils use the vector-set formulation, 3-D stencils
+        process ``vl × vl`` squares per plane with the extra leading
+        dimension folded into the vertical phase).  They are divided by
+        ``vl² · m`` so the cost model can multiply by the number of points and
+        time steps directly.
+
+        Parameters
+        ----------
+        vl:
+            Vector length of the target ISA.
+        shifts_reuse:
+            Whether the trailing transposed counterparts of the previous
+            square are reused (Section 3.4); disabling it charges the extra
+            vertical folds, which is what the ablation benchmark measures.
+        """
+        counts = InstructionCounts()
+        radius = self.radius
+        width = self.width
+        n_mat = self.num_materialized
+
+        if self.dims == 1:
+            points_per_unit = vl * vl  # one vector set
+            loads = float(vl)
+            stores = float(vl)
+            assembled = 2.0 * min(radius, vl)
+            permutes = assembled  # one rotate per assembled vector
+            blends = assembled  # one blend per assembled vector
+            fma = float(vl * (width - 1))
+            mul = float(vl)
+            counts.add(InstructionClass.LOAD, loads)
+            counts.add(InstructionClass.STORE, stores)
+            counts.add(InstructionClass.PERMUTE, permutes)
+            counts.add(InstructionClass.BLEND, blends)
+            counts.add(InstructionClass.FMA, fma)
+            counts.add(InstructionClass.ARITH, mul)
+        else:
+            # Vertical/horizontal square pipeline.  The leading dimensions of
+            # a d-dimensional folded kernel contribute rows_per_column row
+            # loads and MACs per vertical fold.
+            rows_span = self.matrix.shape[0]
+            extra_rows = rows_span - 1
+            points_per_unit = vl * vl
+            if self.dims == 3:
+                # Every square additionally spans the full depth of the
+                # leading kernel axis: rows are loaded per (plane, row) pair.
+                loads = float((vl + extra_rows) * self.matrix.shape[1]) if shifts_reuse else float(
+                    (vl + 2 * extra_rows) * self.matrix.shape[1]
+                )
+            else:
+                loads = float(vl + 2 * radius)
+            stores = float(vl)
+            vertical_direct = 0.0
+            vertical_reuse = 0.0
+            for cp in self.materialized:
+                if cp.mode == "direct":
+                    vertical_direct += vl * float(np.count_nonzero(cp.vector))
+                else:
+                    vertical_reuse += vl * (len(cp.omega) + float(np.count_nonzero(cp.bias)))
+            transposes = float(n_mat + 1) * transpose_cost(vl)
+            horizontal_positions = sum(1 for e in self.position_map if e is not None)
+            horizontal = float(vl * horizontal_positions)
+            if not shifts_reuse:
+                # Without shifts reuse the leading R transposed columns of the
+                # square must be recomputed: charge the proportional share of
+                # the vertical folds and transposes again.
+                extra_frac = radius / vl
+                vertical_direct *= 1.0 + extra_frac
+                vertical_reuse *= 1.0 + extra_frac
+                transposes *= 1.0 + extra_frac
+            counts.add(InstructionClass.LOAD, loads)
+            counts.add(InstructionClass.STORE, stores)
+            counts.add(InstructionClass.FMA, vertical_direct + vertical_reuse + horizontal)
+            counts.add(InstructionClass.PERMUTE, transposes * 0.5)
+            counts.add(InstructionClass.SHUFFLE, transposes * 0.5)
+
+        per_point = 1.0 / (points_per_unit * self.m)
+        return counts.scaled(per_point)
+
+
+def _shift_along_axis(
+    array: np.ndarray, offset: int, axis: int, boundary: BoundaryCondition
+) -> np.ndarray:
+    """Return ``array`` sampled at ``index + offset`` along ``axis``.
+
+    Periodic boundaries wrap; Dirichlet boundaries read the constant halo
+    value for out-of-range positions.
+    """
+    if offset == 0:
+        return array
+    if boundary is BoundaryCondition.PERIODIC:
+        return np.roll(array, -offset, axis=axis)
+    out = np.full_like(array, DIRICHLET_VALUE)
+    n = array.shape[axis]
+    src = [slice(None)] * array.ndim
+    dst = [slice(None)] * array.ndim
+    if offset > 0:
+        src[axis] = slice(offset, n)
+        dst[axis] = slice(0, n - offset)
+    else:
+        src[axis] = slice(0, n + offset)
+        dst[axis] = slice(-offset, n)
+    out[tuple(dst)] = array[tuple(src)]
+    return out
+
+
+def _untranspose_tiles(array: np.ndarray, vl: int) -> np.ndarray:
+    """Transpose every ``vl × vl`` tile of a 2-D array (helper for ``transpose_back=False``)."""
+    rows, cols = array.shape
+    # axes: (row block, lane, col block, lane) -> swap the two lane axes.
+    tiled = array.reshape(rows // vl, vl, cols // vl, vl).swapaxes(1, 3)
+    return np.ascontiguousarray(tiled).reshape(rows, cols)

@@ -1,0 +1,61 @@
+"""Experiment registry and command-line entry point.
+
+``python -m repro.harness.runner`` regenerates every table and figure and
+prints them; ``python -m repro.harness.runner figure8 table2`` runs a subset.
+The same functions are used by the pytest benchmarks, so the printed rows and
+the benchmarked rows always agree.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, Iterable, List
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    collects_analysis,
+    figure8,
+    figure9,
+    figure10,
+    table2,
+    table3,
+)
+from repro.harness.report import format_experiment
+
+#: Registry of experiment name → zero-argument callable.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "figure8": figure8,
+    "table2": table2,
+    "figure9": figure9,
+    "figure10": figure10,
+    "table3": table3,
+    "collects": collects_analysis,
+}
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    """Run the experiment registered under ``name``."""
+    key = name.strip().lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key]()
+
+
+def run_all(names: Iterable[str] | None = None) -> List[ExperimentResult]:
+    """Run all (or the named) experiments and return their results."""
+    selected = list(names) if names else list(EXPERIMENTS)
+    return [run_experiment(name) for name in selected]
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point: print the requested experiments as text tables."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    names = argv or list(EXPERIMENTS)
+    for name in names:
+        result = run_experiment(name)
+        print(format_experiment(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

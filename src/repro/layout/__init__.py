@@ -1,0 +1,48 @@
+"""Data-layout transformations.
+
+Two vectorization-oriented layouts are implemented:
+
+* :mod:`repro.layout.transpose_layout` — the paper's contribution: a *local*
+  ``vl × vl`` transpose of every aligned block of ``vl²`` contiguous
+  elements.  Elements of one SIMD vector stay within ``vl²`` positions of
+  each other, so cache blocking still works, while neighbour access needs
+  only two data-organisation instructions per vector set.
+* :mod:`repro.layout.dlt` — the dimension-lifted transpose (DLT) of Henretty
+  et al., the main prior-work baseline: a *global* transpose of the
+  ``vl × N/vl`` matrix view of the innermost dimension.  It removes alignment
+  conflicts entirely but scatters the elements of one vector ``N/vl`` apart
+  and requires an out-of-place full-array transform before and after the
+  time loop.
+
+Both transforms are exposed as pure NumPy functions (operating on the
+innermost axis of 1-D/2-D/3-D arrays) plus index-mapping helpers used by the
+cache-locality analyses and tests.
+"""
+
+from repro.layout.transpose_layout import (
+    to_transpose_layout,
+    from_transpose_layout,
+    transpose_layout_index,
+    vector_lane_indices,
+    vector_element_spread,
+)
+from repro.layout.dlt import (
+    to_dlt_layout,
+    from_dlt_layout,
+    dlt_index,
+    dlt_vector_lane_indices,
+    dlt_vector_element_spread,
+)
+
+__all__ = [
+    "to_transpose_layout",
+    "from_transpose_layout",
+    "transpose_layout_index",
+    "vector_lane_indices",
+    "vector_element_spread",
+    "to_dlt_layout",
+    "from_dlt_layout",
+    "dlt_index",
+    "dlt_vector_lane_indices",
+    "dlt_vector_element_spread",
+]

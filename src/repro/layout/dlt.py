@@ -1,0 +1,92 @@
+"""Dimension-lifted transpose (DLT) layout — the Henretty et al. baseline.
+
+DLT views the innermost dimension of length ``N`` as a ``vl × (N / vl)``
+matrix filled row-major (row ``r`` holds elements ``r·N/vl … (r+1)·N/vl−1``)
+and stores its transpose: layout position ``j·vl + r`` holds original element
+``r·(N/vl) + j``.  An aligned vector at position ``j·vl`` therefore holds the
+``vl`` elements ``{j, j + N/vl, j + 2N/vl, …}``:
+
+* stencil neighbours (``±1`` in the original index) are simply the adjacent
+  aligned vectors, so the steady-state inner loop needs **no** shuffles and
+  no unaligned loads — the property that made DLT a milestone;
+* but the lanes of one vector are ``N/vl`` elements apart, which destroys the
+  spatial locality that cache tiling relies on, and the transform itself is a
+  global out-of-place pass over the array executed before and after the time
+  loop (plus boundary-column fixups every step).
+
+The functions here implement the layout transform and its index mapping for
+the innermost axis of 1-D/2-D/3-D arrays; the execution schedule that
+consumes it lives in :mod:`repro.baselines.dlt`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def _check(n: int, vl: int) -> None:
+    if vl < 2:
+        raise ValueError("vector length must be at least 2")
+    if n % vl != 0:
+        raise ValueError(
+            f"DLT requires the innermost extent ({n}) to be divisible by the vector length ({vl})"
+        )
+
+
+def to_dlt_layout(array: np.ndarray, vl: int) -> np.ndarray:
+    """Return ``array`` with its innermost axis stored in DLT layout.
+
+    Parameters
+    ----------
+    array:
+        1-D, 2-D or 3-D array whose innermost extent is divisible by ``vl``.
+    vl:
+        SIMD vector length in elements.
+    """
+    arr = np.asarray(array, dtype=np.float64)
+    n = arr.shape[-1]
+    _check(n, vl)
+    seg = n // vl
+    shape = arr.shape[:-1] + (vl, seg)
+    return arr.reshape(shape).swapaxes(-1, -2).reshape(arr.shape).copy()
+
+
+def from_dlt_layout(array: np.ndarray, vl: int) -> np.ndarray:
+    """Inverse of :func:`to_dlt_layout`."""
+    arr = np.asarray(array, dtype=np.float64)
+    n = arr.shape[-1]
+    _check(n, vl)
+    seg = n // vl
+    shape = arr.shape[:-1] + (seg, vl)
+    return arr.reshape(shape).swapaxes(-1, -2).reshape(arr.shape).copy()
+
+
+def dlt_index(i: int, vl: int, n: int) -> int:
+    """Map original index ``i`` to its position in the DLT layout."""
+    _check(n, vl)
+    if not 0 <= i < n:
+        raise IndexError(f"index {i} out of range for length {n}")
+    seg = n // vl
+    r, j = divmod(i, seg)
+    return j * vl + r
+
+
+def dlt_vector_lane_indices(vector_index: int, vl: int, n: int) -> List[int]:
+    """Original indices of the lanes of aligned DLT vector ``vector_index``."""
+    _check(n, vl)
+    seg = n // vl
+    if not 0 <= vector_index < seg:
+        raise IndexError("vector index out of range")
+    return [r * seg + vector_index for r in range(vl)]
+
+
+def dlt_vector_element_spread(vl: int, n: int) -> int:
+    """Maximum original-index distance between two lanes of one DLT vector.
+
+    ``(vl - 1) * N / vl`` — proportional to the array length, which is the
+    locality drawback the paper's transpose layout removes.
+    """
+    _check(n, vl)
+    return (vl - 1) * (n // vl)

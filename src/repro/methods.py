@@ -1,0 +1,177 @@
+"""Method registry: every vectorization method's performance profile.
+
+The experiments compare five vectorization methods (plus tiling framework
+combinations built on top of them):
+
+=================  ==========================================================
+key                description
+=================  ==========================================================
+``multiple_loads`` one unaligned load per stencil point (compiler fallback)
+``data_reorg``     aligned loads + in-register shifts (compiler reorg)
+``dlt``            dimension-lifted transpose (Henretty et al.)
+``transpose``      the paper's transpose layout, single-step updates
+``folded``         transpose layout + m-step temporal computation folding
+=================  ==========================================================
+
+:func:`build_profile` returns the steady-state
+:class:`~repro.perfmodel.profiles.MethodProfile` for any of them;
+:data:`METHOD_LABELS` maps the keys to the names used in the paper's figures.
+The harness composes these profiles with tiling reuse factors for the
+multicore experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.data_reorg import profile_data_reorg
+from repro.baselines.dlt import profile_dlt
+from repro.baselines.multiple_loads import profile_multiple_loads
+from repro.baselines.common import (
+    kernel_rows,
+    post_rule_counts,
+    streamed_arrays,
+    weighted_sum_counts,
+)
+from repro.perfmodel.flops import useful_flops_per_point
+from repro.perfmodel.profiles import MethodProfile
+from repro.simd.isa import InstructionClass, isa_for
+from repro.simd.machine import InstructionCounts
+from repro.stencils.spec import StencilSpec
+
+#: Method keys in the order the paper's figures list them.
+METHOD_KEYS = ("multiple_loads", "data_reorg", "dlt", "transpose", "folded")
+
+#: Display names matching the paper's figures and tables.
+METHOD_LABELS: Dict[str, str] = {
+    "multiple_loads": "Multiple Loads",
+    "data_reorg": "Data Reorganization",
+    "dlt": "DLT",
+    "transpose": "Our",
+    "folded": "Our (2 steps)",
+    "sdsl": "SDSL",
+    "tessellation": "Tessellation",
+}
+
+
+def profile_transpose(spec: StencilSpec, isa: str = "avx2") -> MethodProfile:
+    """Profile of the paper's transpose-layout vectorization (no folding).
+
+    1-D stencils use the vector-set formulation (assembled dependence
+    vectors, Figure 2); multi-dimensional stencils apply the layout along the
+    innermost dimension, so each kernel row needs ``2·r`` assembled vectors
+    per vector set instead of per output vector — the factor-``vl/2``
+    reduction in data-organisation instructions over the data-reorganisation
+    baseline.
+    """
+    isa_spec = isa_for(isa)
+    vl = isa_spec.vector_lanes
+    counts = InstructionCounts()
+    rows = kernel_rows(spec)
+    radius_inner = (spec.kernel.shape[-1] - 1) // 2
+    counts.add(InstructionClass.LOAD, float(rows) / vl)
+    counts.add(InstructionClass.STORE, 1.0 / vl)
+    assembled = rows * 2 * radius_inner
+    counts.add(InstructionClass.BLEND, float(assembled) / (vl * vl))
+    counts.add(InstructionClass.PERMUTE, float(assembled) / (vl * vl))
+    counts = counts.merge(weighted_sum_counts(spec, vl))
+    counts = counts.merge(post_rule_counts(spec, vl))
+    return MethodProfile(
+        method="transpose",
+        stencil=spec.name,
+        isa=isa,
+        counts_per_point=counts,
+        flops_per_point=useful_flops_per_point(spec),
+        sweeps_per_step=1.0,
+        layout_overhead_sweeps=1.0 if spec.dims == 1 else 0.0,
+        extra_arrays=0,
+        arrays=streamed_arrays(spec),
+        notes="transpose layout, assembled dependence vectors per vector set",
+    )
+
+
+def profile_folded(
+    spec: StencilSpec, isa: str = "avx2", m: int = 2, shifts_reuse: bool = True
+) -> MethodProfile:
+    """Profile of the transpose layout + ``m``-step temporal computation folding.
+
+    Linear stencils use the full folding analysis (vertical/horizontal
+    folding with counterpart reuse); the non-linear benchmarks (APOP, Game of
+    Life) cannot fold their arithmetic, so the method degenerates to keeping
+    ``m`` consecutive updates in registers — memory traffic and loads/stores
+    drop by ``m`` while the arithmetic per logical step stays unchanged,
+    which is exactly how such kernels behave in practice.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    # Imported lazily to avoid a circular import through the repro.core
+    # package (whose __init__ pulls in the engine, which uses this registry).
+    from repro.core.folding import arithmetically_profitable
+    from repro.core.vectorized_folding import FoldingSchedule
+
+    isa_spec = isa_for(isa)
+    vl = isa_spec.vector_lanes
+    if spec.linear and arithmetically_profitable(spec, m):
+        schedule = FoldingSchedule(spec, m)
+        counts = schedule.instruction_profile(vl, shifts_reuse=shifts_reuse)
+        counts = counts.merge(post_rule_counts(spec, vl))
+        notes = (
+            f"temporal folding m={m}, "
+            f"{'separable fast path' if schedule.separable_fast_path else 'counterpart reuse'}"
+        )
+    else:
+        # Folding does not pay off arithmetically (sparse star stencils) or
+        # is undefined (non-linear stencils): keep m consecutive updates in
+        # registers instead — loads/stores and memory sweeps drop by m while
+        # the per-step arithmetic stays that of the transpose-layout scheme.
+        base = profile_transpose(spec, isa)
+        counts = InstructionCounts()
+        for cls, value in base.counts_per_point.counts.items():
+            if cls in (InstructionClass.LOAD, InstructionClass.STORE):
+                counts.add(cls, value / m)
+            else:
+                counts.add(cls, value)
+        reason = "non-linear stencil" if not spec.linear else "folding not arithmetically profitable"
+        notes = f"in-register {m}-step update ({reason})"
+    return MethodProfile(
+        method="folded",
+        stencil=spec.name,
+        isa=isa,
+        counts_per_point=counts,
+        flops_per_point=useful_flops_per_point(spec),
+        sweeps_per_step=1.0 / m,
+        layout_overhead_sweeps=1.0 if spec.dims == 1 else 0.0,
+        extra_arrays=0,
+        arrays=streamed_arrays(spec),
+        notes=notes,
+    )
+
+
+def build_profile(
+    method: str, spec: StencilSpec, isa: str = "avx2", m: int = 2
+) -> MethodProfile:
+    """Build the :class:`MethodProfile` for ``method`` on ``spec``.
+
+    Parameters
+    ----------
+    method:
+        One of :data:`METHOD_KEYS`.
+    spec:
+        The stencil.
+    isa:
+        ``"avx2"`` or ``"avx512"``.
+    m:
+        Unrolling factor used by the ``"folded"`` method (ignored otherwise).
+    """
+    key = method.strip().lower()
+    if key == "multiple_loads":
+        return profile_multiple_loads(spec, isa)
+    if key == "data_reorg":
+        return profile_data_reorg(spec, isa)
+    if key == "dlt":
+        return profile_dlt(spec, isa)
+    if key == "transpose":
+        return profile_transpose(spec, isa)
+    if key == "folded":
+        return profile_folded(spec, isa, m)
+    raise KeyError(f"unknown method {method!r}; known: {METHOD_KEYS}")

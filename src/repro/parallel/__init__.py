@@ -1,0 +1,38 @@
+"""Multicore execution substrate.
+
+Three pieces:
+
+* :mod:`repro.parallel.partition` — assigns the tiles of one tessellation
+  stage to cores (greedy balanced partitioning),
+* :mod:`repro.parallel.executor` — a thread-pool executor that runs the
+  tiles of each stage concurrently; because tessellation tiles of one stage
+  are disjoint and only depend on earlier stages, the concurrent execution is
+  race-free and the result is validated against the reference in the tests,
+* :mod:`repro.parallel.model` — the analytic multicore model (shared memory
+  bandwidth, AVX-512 frequency throttling, stage-barrier overhead and load
+  imbalance) that produces the scalability curves of the paper's Figure 10 /
+  Table 3.
+
+Python threads cannot demonstrate real 36-core speedups (the experiments'
+performance numbers come from the model), but the executor demonstrates that
+the tile schedule itself is correct under concurrency, which is the part a
+downstream user would reuse.
+"""
+
+from repro.parallel.partition import partition_tiles
+from repro.parallel.executor import tessellate_run_parallel
+from repro.parallel.model import (
+    MulticoreConfig,
+    multicore_estimate,
+    scalability_curve,
+    speedup_over_single_core,
+)
+
+__all__ = [
+    "partition_tiles",
+    "tessellate_run_parallel",
+    "MulticoreConfig",
+    "multicore_estimate",
+    "scalability_curve",
+    "speedup_over_single_core",
+]

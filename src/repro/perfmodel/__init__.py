@@ -1,0 +1,20 @@
+"""Analytic performance model.
+
+Converts the per-point instruction profiles of the execution schedules plus
+the cache-traffic estimates into cycles and GFLOP/s on the paper's machine,
+using a port-pressure compute model combined with a roofline-style memory
+bound.  This is the layer that turns "our scheme issues fewer
+data-organisation instructions and halves the sweeps per time step" into the
+Figure 8/9/10 style numbers the harness reports.
+"""
+
+from repro.perfmodel.profiles import MethodProfile
+from repro.perfmodel.flops import useful_flops_per_point
+from repro.perfmodel.costmodel import PerformanceEstimate, estimate_performance
+
+__all__ = [
+    "MethodProfile",
+    "useful_flops_per_point",
+    "PerformanceEstimate",
+    "estimate_performance",
+]

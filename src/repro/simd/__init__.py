@@ -1,0 +1,41 @@
+"""Simulated short-vector SIMD substrate.
+
+The paper's contribution is expressed in terms of AVX-2 / AVX-512 vector
+registers and the instructions that move data between and within them
+(loads, stores, ``unpack``, ``permute2f128``, ``blend``, lane-crossing
+permutes) plus the arithmetic instructions (``add``/``mul``/``fma``).  Python
+cannot issue those instructions, so this subpackage provides a *simulated*
+vector machine with two responsibilities:
+
+1. **Exact value semantics** — every instruction operates on real
+   ``float64`` lane values, so a schedule written against the simulator
+   produces numerically correct stencil results that are validated against
+   the NumPy reference.
+2. **Instruction accounting** — every instruction is tallied by execution
+   class (arithmetic, shuffle, load/store, ...) so the cost model in
+   :mod:`repro.perfmodel` can convert a schedule into cycles on the paper's
+   machine, reproducing the paper's op-count arguments (e.g. the
+   8-instruction 4×4 register transpose of Figure 3).
+"""
+
+from repro.simd.isa import InstructionClass, IsaSpec, AVX2, AVX512, isa_for
+from repro.simd.vector import Vector
+from repro.simd.machine import InstructionCounts, SimdMachine
+from repro.simd.transpose import register_transpose, transpose_4x4, transpose_8x8
+from repro.simd.kernels import assemble_left_neighbor, assemble_right_neighbor
+
+__all__ = [
+    "InstructionClass",
+    "IsaSpec",
+    "AVX2",
+    "AVX512",
+    "isa_for",
+    "Vector",
+    "InstructionCounts",
+    "SimdMachine",
+    "register_transpose",
+    "transpose_4x4",
+    "transpose_8x8",
+    "assemble_left_neighbor",
+    "assemble_right_neighbor",
+]

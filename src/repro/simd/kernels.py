@@ -1,0 +1,157 @@
+"""Low-level vector-set helpers for the transpose layout (paper Figure 2).
+
+In the transpose layout, a *vector set* holds ``vl * vl`` consecutive grid
+elements as ``vl`` registers, register ``j`` containing the elements whose
+in-set offset is congruent to ``j`` modulo ``vl`` (i.e. column ``j`` of the
+``vl × vl`` matrix view).  A stencil update of the set needs, besides the
+set's own registers, *assembled* dependence vectors:
+
+* the **left dependent vector** of the set's first register — the elements
+  immediately to the left of register 0's elements.  All but one of them live
+  in the *last* register of the same set; the remaining one (the paper's
+  ``Z``) is the last element of the previous set, i.e. lane ``vl - 1`` of the
+  previous set's last register.
+* the **right dependent vector** of the set's last register — symmetric, with
+  one element taken from lane 0 of the next set's first register.
+
+Each assembled vector costs one ``blend`` plus one lane-crossing ``permute``
+(a circular rotate), exactly the two "data operations per vector set" the
+paper counts in Section 2.2.
+
+Larger stencil radii need further assembled vectors (offset ``±2`` etc.);
+:func:`assemble_shifted` generalises the construction for any offset
+``0 < |k| < vl``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.simd.machine import SimdMachine
+from repro.simd.vector import Vector
+
+
+def assemble_left_neighbor(
+    machine: SimdMachine,
+    last_of_current: Vector,
+    last_of_previous: Vector,
+) -> Vector:
+    """Assemble the left dependent vector of a vector set (offset ``-1``).
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine.
+    last_of_current:
+        Register ``vl - 1`` of the current vector set (holding the elements
+        one to the left of register 0's elements, except the first one).
+    last_of_previous:
+        Register ``vl - 1`` of the *previous* vector set; its last lane is the
+        element immediately preceding the current set.
+
+    Returns
+    -------
+    Vector
+        The vector of elements at offset ``-1`` from register 0's elements.
+    """
+    vl = machine.vl
+    mask = [False] * vl
+    mask[vl - 1] = True
+    merged = machine.blend(last_of_current, last_of_previous, mask)
+    return machine.rotate(merged, 1)
+
+
+def assemble_right_neighbor(
+    machine: SimdMachine,
+    first_of_current: Vector,
+    first_of_next: Vector,
+) -> Vector:
+    """Assemble the right dependent vector of a vector set (offset ``+1``).
+
+    Mirror image of :func:`assemble_left_neighbor`: takes register 0 of the
+    current set and register 0 of the *next* set, and returns the vector of
+    elements at offset ``+1`` from the last register's elements.
+    """
+    vl = machine.vl
+    mask = [False] * vl
+    mask[0] = True
+    merged = machine.blend(first_of_current, first_of_next, mask)
+    return machine.rotate(merged, -1)
+
+
+def assemble_shifted(
+    machine: SimdMachine,
+    current_set: Sequence[Vector],
+    previous_set: Sequence[Vector],
+    next_set: Sequence[Vector],
+    offset: int,
+) -> Vector:
+    """Return the vector holding the elements at ``offset`` from register 0/last.
+
+    For ``offset = -k`` (``k > 0``) this is the vector of elements ``k`` to the
+    left of register 0's elements; for ``offset = +k`` it is the vector of
+    elements ``k`` to the right of register ``vl - 1``'s elements.  Offsets
+    with ``|offset| < vl`` are supported, which covers every stencil radius
+    the paper evaluates (r ≤ 2 per fold step, and ``m·r < vl`` in practice).
+
+    The construction generalises the blend+rotate of the paper: one blend to
+    merge the wrap-around lanes from the neighbouring set, one lane-crossing
+    rotate.  ``offset = 0`` raises, since no assembly is needed.
+    """
+    vl = machine.vl
+    k = abs(offset)
+    if offset == 0:
+        raise ValueError("offset 0 needs no assembled vector")
+    if k > vl:
+        raise ValueError(f"|offset| must be <= vl={vl}")
+    if len(current_set) != vl:
+        raise ValueError("current_set must contain vl registers")
+    if offset < 0:
+        # Column at offset -k from register 0.  All its elements except the
+        # first live in register (vl-k) mod vl of the current set (lanes
+        # 0..vl-2); the first one is lane vl-1 of the previous set's register
+        # of the same index.
+        donor_current = current_set[(vl - k) % vl]
+        donor_previous = previous_set[(vl - k) % vl]
+        mask = [lane == vl - 1 for lane in range(vl)]
+        merged = machine.blend(donor_current, donor_previous, mask)
+        return machine.rotate(merged, 1)
+    # Column at offset +k from register vl-1.  All its elements except the
+    # last live in register k-1 of the current set (lanes 1..vl-1); the last
+    # one is lane 0 of the next set's register k-1.
+    donor_current = current_set[k - 1]
+    donor_next = next_set[k - 1]
+    mask = [lane == 0 for lane in range(vl)]
+    merged = machine.blend(donor_current, donor_next, mask)
+    return machine.rotate(merged, -1)
+
+
+def neighbor_vectors_1d(
+    machine: SimdMachine,
+    current_set: Sequence[Vector],
+    previous_set: Sequence[Vector],
+    next_set: Sequence[Vector],
+    radius: int,
+) -> List[Vector]:
+    """Return the ``2r + vl`` logical column vectors around a vector set.
+
+    Index ``i`` of the returned list corresponds to column offset
+    ``i - radius`` relative to register 0 of the current set, so the slice
+    ``[i : i + 2r + 1]`` gives exactly the dependence vectors of register
+    ``i``'s update for a radius-``r`` 1-D stencil.  Interior entries are the
+    set's own registers (no instructions); the ``r`` leading and trailing
+    entries are assembled with :func:`assemble_shifted` (2 instructions each),
+    reproducing the per-set data-organisation cost of Section 2.2.
+    """
+    vl = machine.vl
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if radius > vl:
+        raise ValueError("radius must not exceed the vector length")
+    out: List[Vector] = []
+    for k in range(radius, 0, -1):
+        out.append(assemble_shifted(machine, current_set, previous_set, next_set, -k))
+    out.extend(current_set)
+    for k in range(1, radius + 1):
+        out.append(assemble_shifted(machine, current_set, previous_set, next_set, +k))
+    return out

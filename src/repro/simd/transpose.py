@@ -1,0 +1,138 @@
+"""In-register ``vl × vl`` matrix transposes (paper Section 2.3, Figure 3).
+
+The transpose layout of Section 2 requires transposing a small ``vl × vl``
+matrix held in ``vl`` vector registers, twice per vector set (once before and
+once after the stencil computation, the second one optionally fused with the
+weighting — the "weighted transpose" of Figure 5).
+
+The paper's improved AVX-2 kernel uses two stages of single-cycle,
+non-parameterised instructions:
+
+* stage 1 — ``permute2f128`` exchanges the 128-bit halves of register pairs
+  with distance 2,
+* stage 2 — ``unpacklo`` / ``unpackhi`` exchange single doubles between
+  adjacent registers,
+
+for a total of **8 instructions** on 4 registers.  The AVX-512 version has
+three stages (the last one in-lane) for 24 instructions on 8 registers.
+
+Both are instances of the classic recursive block transpose: at block size
+``b`` (descending powers of two from ``vl/2`` to 1), registers ``i`` and
+``i + b`` within each group of ``2b`` exchange alternating blocks of ``b``
+lanes.  :func:`register_transpose` implements the generic algorithm on the
+simulated machine; :func:`transpose_4x4` additionally spells out the exact
+AVX-2 instruction sequence of Figure 3 so its instruction count can be
+checked instruction-by-instruction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.simd.machine import SimdMachine
+from repro.simd.vector import Vector
+
+
+def transpose_4x4(machine: SimdMachine, vectors: Sequence[Vector]) -> List[Vector]:
+    """Transpose four 4-lane registers with the paper's 8-instruction kernel.
+
+    Parameters
+    ----------
+    machine:
+        A 4-lane (AVX-2) :class:`~repro.simd.machine.SimdMachine`.
+    vectors:
+        Four vectors, register ``i`` holding row ``i`` of the matrix.
+
+    Returns
+    -------
+    list of Vector
+        Four vectors, register ``i`` holding *column* ``i`` of the input.
+    """
+    if machine.vl != 4:
+        raise ValueError("transpose_4x4 requires a 4-lane machine")
+    if len(vectors) != 4:
+        raise ValueError("transpose_4x4 requires exactly 4 vectors")
+    v0, v1, v2, v3 = vectors
+    # Stage 1: exchange 128-bit halves between registers with distance 2
+    # (paper Figure 3, PERMUTE2F128).
+    t0 = machine.permute2f128(v0, v2, 0, 2)  # [A B | I J]
+    t1 = machine.permute2f128(v1, v3, 0, 2)  # [E F | M N]
+    t2 = machine.permute2f128(v0, v2, 1, 3)  # [C D | K L]
+    t3 = machine.permute2f128(v1, v3, 1, 3)  # [G H | O P]
+    # Stage 2: interleave doubles between adjacent registers (UNPACKLO/HI).
+    r0 = machine.unpacklo(t0, t1)  # [A E | I M]
+    r1 = machine.unpackhi(t0, t1)  # [B F | J N]
+    r2 = machine.unpacklo(t2, t3)  # [C G | K O]
+    r3 = machine.unpackhi(t2, t3)  # [D H | L P]
+    return [r0, r1, r2, r3]
+
+
+def transpose_8x8(machine: SimdMachine, vectors: Sequence[Vector]) -> List[Vector]:
+    """Transpose eight 8-lane registers in three stages (24 instructions).
+
+    This is the AVX-512 analogue of Figure 3: two lane-crossing stages
+    followed by one in-lane ``unpack`` stage, as described in the paper's
+    Section 2.3.
+    """
+    if machine.vl != 8:
+        raise ValueError("transpose_8x8 requires an 8-lane machine")
+    if len(vectors) != 8:
+        raise ValueError("transpose_8x8 requires exactly 8 vectors")
+    return register_transpose(machine, vectors)
+
+
+def register_transpose(machine: SimdMachine, vectors: Sequence[Vector]) -> List[Vector]:
+    """Transpose ``vl`` registers of ``vl`` lanes on the simulated machine.
+
+    Generic recursive block-exchange transpose: ``log2(vl)`` stages of ``vl``
+    instructions each.  For ``vl = 4`` it executes the same number (and
+    classes) of instructions as :func:`transpose_4x4`; for ``vl = 8`` it is
+    the 24-instruction AVX-512 kernel.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine whose vector length matches ``len(vectors)``.
+    vectors:
+        ``vl`` vectors; register ``i`` holds row ``i``.
+
+    Returns
+    -------
+    list of Vector
+        ``vl`` vectors; register ``i`` holds column ``i`` of the input.
+    """
+    vl = machine.vl
+    if len(vectors) != vl:
+        raise ValueError(f"register_transpose requires exactly vl={vl} vectors")
+    for v in vectors:
+        if v.lanes != vl:
+            raise ValueError("all vectors must have vl lanes")
+
+    regs = list(vectors)
+    block = vl // 2
+    while block >= 1:
+        new_regs: List[Vector] = list(regs)
+        group = 2 * block
+        for base in range(0, vl, group):
+            for i in range(base, base + block):
+                j = i + block
+                low = machine.exchange_blocks(regs[i], regs[j], block, high=False)
+                high = machine.exchange_blocks(regs[i], regs[j], block, high=True)
+                new_regs[i] = low
+                new_regs[j] = high
+        regs = new_regs
+        block //= 2
+    return regs
+
+
+def transpose_cost(vl: int) -> int:
+    """Instruction count of the in-register transpose for vector length ``vl``.
+
+    ``vl * log2(vl)``: 8 for AVX-2, 24 for AVX-512 (paper Section 2.3).
+    """
+    stages = 0
+    v = vl
+    while v > 1:
+        v //= 2
+        stages += 1
+    return vl * stages

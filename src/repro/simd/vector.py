@@ -1,0 +1,97 @@
+"""Vector register values.
+
+A :class:`Vector` is the value held by one simulated SIMD register: a small,
+fixed-length tuple of ``float64`` lanes backed by a NumPy array.  Vectors are
+immutable — every machine instruction returns a new :class:`Vector` — which
+keeps schedules easy to reason about and makes accidental aliasing between
+"registers" impossible.
+
+Lane numbering follows the memory order convention of the Intel intrinsics
+guide: lane 0 is the lowest-addressed element of a load.  128-bit *lanes*
+(pairs of doubles) matter for the in-lane/lane-crossing distinction of the
+shuffle instructions and are exposed via :meth:`Vector.lane128`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+class Vector:
+    """An immutable SIMD register value of ``vl`` ``float64`` lanes."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Sequence[float] | np.ndarray):
+        arr = np.array(data, dtype=np.float64, copy=True)
+        if arr.ndim != 1:
+            raise ValueError("a Vector is one-dimensional")
+        if arr.size not in (2, 4, 8, 16):
+            raise ValueError(f"unsupported vector length {arr.size}")
+        arr.setflags(write=False)
+        self._data = arr
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def broadcast(value: float, lanes: int) -> "Vector":
+        """Return a vector with every lane equal to ``value``."""
+        return Vector(np.full(lanes, float(value), dtype=np.float64))
+
+    @staticmethod
+    def zeros(lanes: int) -> "Vector":
+        """Return the all-zero vector of width ``lanes``."""
+        return Vector(np.zeros(lanes, dtype=np.float64))
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def lanes(self) -> int:
+        """Number of ``float64`` lanes."""
+        return int(self._data.size)
+
+    def to_array(self) -> np.ndarray:
+        """Return a writable copy of the lane values."""
+        return self._data.copy()
+
+    def lane(self, i: int) -> float:
+        """Return lane ``i`` as a Python float."""
+        return float(self._data[i])
+
+    def lane128(self, i: int) -> np.ndarray:
+        """Return 128-bit lane ``i`` (a pair of doubles) as a read-only view."""
+        return self._data[2 * i : 2 * i + 2]
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._data.tolist())
+
+    def __len__(self) -> int:
+        return self.lanes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vector):
+            return NotImplemented
+        return bool(np.array_equal(self._data, other._data))
+
+    def __hash__(self) -> int:  # pragma: no cover - Vectors are rarely hashed
+        return hash(self._data.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        vals = ", ".join(f"{v:g}" for v in self._data)
+        return f"Vector[{vals}]"
+
+    # ------------------------------------------------------------------ #
+    # raw (un-accounted) helpers used internally by the machine
+    # ------------------------------------------------------------------ #
+    def _raw(self) -> np.ndarray:
+        """Internal read-only view of the lane data (no copy)."""
+        return self._data
+
+
+def as_vectors(values: Iterable[Iterable[float]]) -> list[Vector]:
+    """Convenience: build a list of :class:`Vector` from nested iterables."""
+    return [Vector(np.asarray(list(v), dtype=np.float64)) for v in values]

@@ -1,0 +1,54 @@
+"""Stencil specifications, reference executors and the paper's benchmarks.
+
+This subpackage is the numerical ground truth of the reproduction:
+
+* :mod:`repro.stencils.spec` defines :class:`~repro.stencils.spec.StencilSpec`,
+  the declarative description of a stencil (kernel weights, shape class,
+  optional nonlinearity) and its m-step composition,
+* :mod:`repro.stencils.boundary` defines the supported boundary conditions,
+* :mod:`repro.stencils.grid` holds the grid container and initialisers,
+* :mod:`repro.stencils.reference` implements the naive reference executor that
+  every optimized schedule is validated against,
+* :mod:`repro.stencils.library` instantiates the nine benchmarks of the
+  paper's Table 1 together with their problem and blocking sizes.
+"""
+
+from repro.stencils.spec import StencilSpec, StencilShape
+from repro.stencils.boundary import BoundaryCondition
+from repro.stencils.grid import Grid
+from repro.stencils.reference import reference_step, reference_run
+from repro.stencils.library import (
+    BENCHMARKS,
+    BenchmarkCase,
+    get_benchmark,
+    heat_1d,
+    heat_2d,
+    heat_3d,
+    box_1d5p,
+    box_2d9p,
+    box_3d27p,
+    apop,
+    game_of_life,
+    general_box_2d9p,
+)
+
+__all__ = [
+    "StencilSpec",
+    "StencilShape",
+    "BoundaryCondition",
+    "Grid",
+    "reference_step",
+    "reference_run",
+    "BENCHMARKS",
+    "BenchmarkCase",
+    "get_benchmark",
+    "heat_1d",
+    "heat_2d",
+    "heat_3d",
+    "box_1d5p",
+    "box_2d9p",
+    "box_3d27p",
+    "apop",
+    "game_of_life",
+    "general_box_2d9p",
+]

@@ -1,0 +1,160 @@
+"""Grid container and initialisers.
+
+A :class:`Grid` bundles the interior values of a stencil problem with its
+boundary condition and (optionally) the static auxiliary array used by the
+non-linear benchmarks (the APOP payoff).  It is a thin convenience layer:
+all executors operate on plain ``float64`` NumPy arrays, and :class:`Grid`
+only standardises how those arrays are created, padded and compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stencils.boundary import BoundaryCondition, pad_with_halo
+
+
+@dataclass
+class Grid:
+    """A d-dimensional grid of ``float64`` values plus its boundary condition.
+
+    Attributes
+    ----------
+    values:
+        Interior values (no halo).  Mutated in place by ``advance``-style
+        helpers; executors generally return fresh arrays instead.
+    boundary:
+        Boundary condition applied outside the interior.
+    aux:
+        Optional static auxiliary array of the same shape (e.g. APOP payoff).
+    """
+
+    values: np.ndarray
+    boundary: BoundaryCondition = BoundaryCondition.PERIODIC
+    aux: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.aux is not None:
+            self.aux = np.asarray(self.aux, dtype=np.float64)
+            if self.aux.shape != self.values.shape:
+                raise ValueError(
+                    f"aux shape {self.aux.shape} differs from grid shape {self.values.shape}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def random(
+        shape: Sequence[int],
+        boundary: BoundaryCondition = BoundaryCondition.PERIODIC,
+        seed: int = 0,
+        low: float = 0.0,
+        high: float = 1.0,
+        aux: Optional[np.ndarray] = None,
+    ) -> "Grid":
+        """Create a grid with uniformly random interior values.
+
+        A fixed ``seed`` keeps tests and benchmarks deterministic.
+        """
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(low, high, size=tuple(shape))
+        return Grid(values=values, boundary=boundary, aux=aux)
+
+    @staticmethod
+    def zeros(
+        shape: Sequence[int],
+        boundary: BoundaryCondition = BoundaryCondition.PERIODIC,
+    ) -> "Grid":
+        """Create an all-zero grid."""
+        return Grid(values=np.zeros(tuple(shape), dtype=np.float64), boundary=boundary)
+
+    @staticmethod
+    def gaussian_bump(
+        shape: Sequence[int],
+        boundary: BoundaryCondition = BoundaryCondition.DIRICHLET,
+        amplitude: float = 1.0,
+        width_fraction: float = 0.1,
+    ) -> "Grid":
+        """Create a grid holding a centred Gaussian bump.
+
+        Useful for the heat-equation examples: diffusion of a bump is easy to
+        eyeball and conserves positivity, so plots and sanity checks are
+        straightforward.
+
+        Parameters
+        ----------
+        shape:
+            Interior grid shape.
+        boundary:
+            Boundary condition (defaults to Dirichlet, the physically natural
+            choice for a decaying bump).
+        amplitude:
+            Peak value at the centre.
+        width_fraction:
+            Standard deviation of the Gaussian as a fraction of each extent.
+        """
+        shape = tuple(shape)
+        axes = [np.arange(n, dtype=np.float64) for n in shape]
+        grids = np.meshgrid(*axes, indexing="ij")
+        sq = np.zeros(shape, dtype=np.float64)
+        for g, n in zip(grids, shape):
+            centre = (n - 1) / 2.0
+            sigma = max(width_fraction * n, 1.0)
+            sq += ((g - centre) / sigma) ** 2
+        return Grid(values=amplitude * np.exp(-0.5 * sq), boundary=boundary)
+
+    @staticmethod
+    def life_random(
+        shape: Sequence[int],
+        density: float = 0.35,
+        seed: int = 0,
+    ) -> "Grid":
+        """Create a random 0/1 grid for the Game of Life benchmark."""
+        if not 0.0 <= density <= 1.0:
+            raise ValueError("density must lie in [0, 1]")
+        rng = np.random.default_rng(seed)
+        values = (rng.uniform(size=tuple(shape)) < density).astype(np.float64)
+        return Grid(values=values, boundary=BoundaryCondition.PERIODIC)
+
+    # ------------------------------------------------------------------ #
+    # geometry / views
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Interior shape."""
+        return tuple(self.values.shape)
+
+    @property
+    def dims(self) -> int:
+        """Number of spatial dimensions."""
+        return self.values.ndim
+
+    @property
+    def npoints(self) -> int:
+        """Total number of interior points."""
+        return int(self.values.size)
+
+    def padded(self, halo: int) -> np.ndarray:
+        """Return a fresh padded copy realising the boundary condition."""
+        return pad_with_halo(self.values, halo, self.boundary)
+
+    def copy(self) -> "Grid":
+        """Deep copy of the grid (values and aux)."""
+        return Grid(
+            values=self.values.copy(),
+            boundary=self.boundary,
+            aux=None if self.aux is None else self.aux.copy(),
+        )
+
+    def with_values(self, values: np.ndarray) -> "Grid":
+        """Return a new grid sharing boundary/aux but holding ``values``."""
+        return Grid(values=np.asarray(values, dtype=np.float64), boundary=self.boundary, aux=self.aux)
+
+    def nbytes(self) -> int:
+        """Bytes occupied by the interior values (excludes halo and aux)."""
+        return int(self.values.nbytes)

@@ -1,0 +1,383 @@
+"""The paper's benchmark stencils and their Table 1 parameters.
+
+The evaluation section uses nine stencils:
+
+===========  ====  ======================================================
+Benchmark    Pts   Description
+===========  ====  ======================================================
+1D-Heat      3     1-D heat equation (3-point star)
+1D5P         5     1-D 5-point high-order stencil
+APOP         6     American put option pricing — 3-point stencil over the
+                   option-value array plus an elementwise max against the
+                   static payoff array (the paper counts 6 points because
+                   two input arrays are involved)
+2D-Heat      5     2-D heat equation (5-point star)
+2D9P         9     2-D 9-point box smoother (uniform weights)
+Game of Life 8     Conway's cellular automaton (8-neighbour rule)
+GB           9     general box — 2-D 9-point box with 9 distinct weights
+3D-Heat      7     3-D heat equation (7-point star)
+3D27P        27    3-D 27-point box smoother
+===========  ====  ======================================================
+
+Each benchmark is wrapped in a :class:`BenchmarkCase` carrying the paper's
+problem size, total time steps and blocking size (Table 1) together with a
+scaled-down size used by correctness tests, and a factory for a deterministic
+initial grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.stencils.boundary import BoundaryCondition
+from repro.stencils.grid import Grid
+from repro.stencils.spec import StencilSpec
+
+
+# --------------------------------------------------------------------------- #
+# linear stencil constructors
+# --------------------------------------------------------------------------- #
+def heat_1d(alpha: float = 0.25) -> StencilSpec:
+    """1-D heat equation stencil ``u' = alpha*u[-1] + (1-2*alpha)*u[0] + alpha*u[+1]``.
+
+    ``alpha`` is the diffusion number ``dt/dx^2``; the default ``0.25`` is
+    stable and gives the classic (1/4, 1/2, 1/4) smoothing weights.
+    """
+    return StencilSpec(
+        name="1d-heat",
+        kernel=np.array([alpha, 1.0 - 2.0 * alpha, alpha]),
+        description="1-D 3-point heat equation",
+    )
+
+
+def box_1d5p() -> StencilSpec:
+    """1-D 5-point stencil with symmetric binomial-like weights."""
+    return StencilSpec(
+        name="1d5p",
+        kernel=np.array([0.0625, 0.25, 0.375, 0.25, 0.0625]),
+        description="1-D 5-point high-order smoother",
+    )
+
+
+def heat_2d(alpha: float = 0.125) -> StencilSpec:
+    """2-D heat equation (5-point star) with diffusion number ``alpha``."""
+    kernel = np.zeros((3, 3), dtype=np.float64)
+    kernel[1, 1] = 1.0 - 4.0 * alpha
+    kernel[0, 1] = kernel[2, 1] = kernel[1, 0] = kernel[1, 2] = alpha
+    return StencilSpec(name="2d-heat", kernel=kernel, description="2-D 5-point heat equation")
+
+
+def box_2d9p(weight: float = 1.0 / 9.0) -> StencilSpec:
+    """2-D 9-point box smoother with a single uniform weight (paper Figure 5)."""
+    return StencilSpec(
+        name="2d9p",
+        kernel=np.full((3, 3), weight, dtype=np.float64),
+        description="2-D 9-point uniform box smoother",
+    )
+
+
+def symmetric_box_2d9p(w1: float = 0.05, w2: float = 0.1, w3: float = 0.4) -> StencilSpec:
+    """2-D 9-point box with corner/edge/centre weights ``w1``/``w2``/``w3``.
+
+    This is the stencil of the paper's Figure 4 (scalar profitability
+    analysis); the uniform-weight :func:`box_2d9p` is the special case
+    ``w1 = w2 = w3``.
+    """
+    kernel = np.array(
+        [
+            [w1, w2, w1],
+            [w2, w3, w2],
+            [w1, w2, w1],
+        ],
+        dtype=np.float64,
+    )
+    return StencilSpec(
+        name="2d9p-sym",
+        kernel=kernel,
+        description="2-D 9-point box with corner/edge/centre weights",
+    )
+
+
+def general_box_2d9p(seed: int = 7) -> StencilSpec:
+    """GB — asymmetric 2-D 9-point box with 9 distinct weights.
+
+    The paper uses GB as a stress test: because no two weights coincide, the
+    rows of the folding matrix are not multiples of each other, so the
+    separable fast path does not apply and the linear-regression
+    generalisation (Section 3.5) must be used.  The weights are deterministic
+    (seeded) and normalised to sum to one so repeated application stays
+    bounded.
+    """
+    rng = np.random.default_rng(seed)
+    kernel = rng.uniform(0.2, 1.0, size=(3, 3))
+    kernel = kernel / kernel.sum()
+    return StencilSpec(
+        name="gb",
+        kernel=kernel,
+        description="asymmetric 2-D 9-point general box (9 distinct weights)",
+    )
+
+
+def heat_3d(alpha: float = 0.1) -> StencilSpec:
+    """3-D heat equation (7-point star) with diffusion number ``alpha``."""
+    kernel = np.zeros((3, 3, 3), dtype=np.float64)
+    kernel[1, 1, 1] = 1.0 - 6.0 * alpha
+    for axis in range(3):
+        idx_lo = [1, 1, 1]
+        idx_hi = [1, 1, 1]
+        idx_lo[axis] = 0
+        idx_hi[axis] = 2
+        kernel[tuple(idx_lo)] = alpha
+        kernel[tuple(idx_hi)] = alpha
+    return StencilSpec(name="3d-heat", kernel=kernel, description="3-D 7-point heat equation")
+
+
+def box_3d27p(weight: float = 1.0 / 27.0) -> StencilSpec:
+    """3-D 27-point box smoother with a single uniform weight."""
+    return StencilSpec(
+        name="3d27p",
+        kernel=np.full((3, 3, 3), weight, dtype=np.float64),
+        description="3-D 27-point uniform box smoother",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# non-linear benchmarks
+# --------------------------------------------------------------------------- #
+def _apop_rule(linear: np.ndarray, previous: np.ndarray, aux: Optional[np.ndarray]) -> np.ndarray:
+    """American-put early-exercise rule: max of continuation value and payoff."""
+    if aux is None:
+        raise ValueError("APOP requires the static payoff array as grid.aux")
+    return np.maximum(linear, aux)
+
+
+def apop(
+    risk_free_rate: float = 0.03,
+    volatility: float = 0.3,
+    dt: float = 1.0 / 1000.0,
+) -> StencilSpec:
+    """APOP — American put option pricing (1-D 3-point stencil + payoff max).
+
+    The explicit finite-difference scheme for the Black–Scholes PDE gives a
+    three-point weighted sum of the option value at the previous time level,
+    discounted by ``exp(-r*dt)``, followed by ``max`` against the immediate
+    exercise payoff (the static second input array).  The paper counts this
+    as a 6-point stencil because two input arrays are read.
+
+    The default coefficients form a convex combination scaled by the discount
+    factor, so the scheme is unconditionally stable for testing purposes.
+    """
+    discount = float(np.exp(-risk_free_rate * dt))
+    p_up = 0.25
+    p_mid = 0.5
+    p_down = 0.25
+    kernel = discount * np.array([p_down, p_mid, p_up], dtype=np.float64)
+    return StencilSpec(
+        name="apop",
+        kernel=kernel,
+        linear=False,
+        post_rule=_apop_rule,
+        aux_name="payoff",
+        description="American put option pricing (3-point continuation + payoff max)",
+    )
+
+
+def _life_rule(linear: np.ndarray, previous: np.ndarray, aux: Optional[np.ndarray]) -> np.ndarray:
+    """Conway's rule applied to the 8-neighbour count in ``linear``."""
+    count = np.rint(linear)
+    alive = previous > 0.5
+    born = count == 3.0
+    survive = alive & (count == 2.0)
+    return (born | survive).astype(np.float64)
+
+
+def game_of_life() -> StencilSpec:
+    """Conway's Game of Life as an 8-neighbour counting stencil plus rule map."""
+    kernel = np.ones((3, 3), dtype=np.float64)
+    kernel[1, 1] = 0.0
+    return StencilSpec(
+        name="game-of-life",
+        kernel=kernel,
+        linear=False,
+        post_rule=_life_rule,
+        description="Conway's Game of Life (8-neighbour count + survival rule)",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# benchmark cases (Table 1)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """A paper benchmark: stencil + the sizes of Table 1 + a test-scale size.
+
+    Attributes
+    ----------
+    key:
+        Short identifier used by the harness and the benchmarks
+        (``"2d9p"``, ``"game-of-life"``, ...).
+    display_name:
+        The name used in the paper's tables/figures.
+    spec_factory:
+        Zero-argument callable producing the :class:`StencilSpec`.
+    problem_size:
+        Spatial problem size from Table 1 (paper scale).
+    time_steps:
+        Total time steps from Table 1.
+    blocking_size:
+        Spatial blocking size from Table 1 (per tile), including the time
+        block as its last element where the paper gives one.
+    test_size:
+        Scaled-down spatial size used by correctness tests and examples.
+    grid_factory:
+        Callable ``(shape, seed) -> Grid`` building a deterministic initial
+        grid appropriate for the benchmark (random field, 0/1 life board,
+        option-value grid with payoff aux, ...).
+    """
+
+    key: str
+    display_name: str
+    spec_factory: Callable[[], StencilSpec]
+    problem_size: Tuple[int, ...]
+    time_steps: int
+    blocking_size: Tuple[int, ...]
+    test_size: Tuple[int, ...]
+    grid_factory: Callable[[Tuple[int, ...], int], Grid]
+
+    @property
+    def spec(self) -> StencilSpec:
+        """Instantiate the stencil specification."""
+        return self.spec_factory()
+
+    def make_grid(self, shape: Optional[Tuple[int, ...]] = None, seed: int = 0) -> Grid:
+        """Build a deterministic initial grid (default: the test-scale size)."""
+        return self.grid_factory(shape or self.test_size, seed)
+
+
+def _random_grid(shape: Tuple[int, ...], seed: int) -> Grid:
+    return Grid.random(shape, boundary=BoundaryCondition.PERIODIC, seed=seed)
+
+
+def _life_grid(shape: Tuple[int, ...], seed: int) -> Grid:
+    return Grid.life_random(shape, density=0.35, seed=seed)
+
+
+def _apop_grid(shape: Tuple[int, ...], seed: int) -> Grid:
+    """Option value grid: payoff of a put over a log-spaced price axis."""
+    (n,) = shape
+    strike = 100.0
+    prices = np.linspace(10.0, 200.0, n)
+    payoff = np.maximum(strike - prices, 0.0)
+    return Grid(values=payoff.copy(), boundary=BoundaryCondition.DIRICHLET, aux=payoff)
+
+
+BENCHMARKS: Dict[str, BenchmarkCase] = {
+    "1d-heat": BenchmarkCase(
+        key="1d-heat",
+        display_name="1D-Heat",
+        spec_factory=heat_1d,
+        problem_size=(10_240_000,),
+        time_steps=1000,
+        blocking_size=(2000, 1000),
+        test_size=(4096,),
+        grid_factory=_random_grid,
+    ),
+    "1d5p": BenchmarkCase(
+        key="1d5p",
+        display_name="1D5P",
+        spec_factory=box_1d5p,
+        problem_size=(10_240_000,),
+        time_steps=1000,
+        blocking_size=(2000, 500),
+        test_size=(4096,),
+        grid_factory=_random_grid,
+    ),
+    "apop": BenchmarkCase(
+        key="apop",
+        display_name="APOP",
+        spec_factory=apop,
+        problem_size=(10_240_000,),
+        time_steps=1000,
+        blocking_size=(2000, 500),
+        test_size=(4096,),
+        grid_factory=_apop_grid,
+    ),
+    "2d-heat": BenchmarkCase(
+        key="2d-heat",
+        display_name="2D-Heat",
+        spec_factory=heat_2d,
+        problem_size=(5000, 5000),
+        time_steps=1000,
+        blocking_size=(200, 200, 50),
+        test_size=(96, 96),
+        grid_factory=_random_grid,
+    ),
+    "2d9p": BenchmarkCase(
+        key="2d9p",
+        display_name="2D9P",
+        spec_factory=box_2d9p,
+        problem_size=(5000, 5000),
+        time_steps=1000,
+        blocking_size=(120, 128, 60),
+        test_size=(96, 96),
+        grid_factory=_random_grid,
+    ),
+    "game-of-life": BenchmarkCase(
+        key="game-of-life",
+        display_name="Game of Life",
+        spec_factory=game_of_life,
+        problem_size=(5000, 5000),
+        time_steps=1000,
+        blocking_size=(200, 200, 50),
+        test_size=(96, 96),
+        grid_factory=_life_grid,
+    ),
+    "gb": BenchmarkCase(
+        key="gb",
+        display_name="GB",
+        spec_factory=general_box_2d9p,
+        problem_size=(5000, 5000),
+        time_steps=1000,
+        blocking_size=(200, 200, 50),
+        test_size=(96, 96),
+        grid_factory=_random_grid,
+    ),
+    "3d-heat": BenchmarkCase(
+        key="3d-heat",
+        display_name="3D-Heat",
+        spec_factory=heat_3d,
+        problem_size=(400, 400, 400),
+        time_steps=1000,
+        blocking_size=(20, 20, 10),
+        test_size=(24, 24, 24),
+        grid_factory=_random_grid,
+    ),
+    "3d27p": BenchmarkCase(
+        key="3d27p",
+        display_name="3D27P",
+        spec_factory=box_3d27p,
+        problem_size=(400, 400, 400),
+        time_steps=1000,
+        blocking_size=(20, 20, 10),
+        test_size=(24, 24, 24),
+        grid_factory=_random_grid,
+    ),
+}
+
+
+def get_benchmark(key: str) -> BenchmarkCase:
+    """Return the benchmark case registered under ``key``.
+
+    Accepts either the registry key (``"2d9p"``) or the paper display name
+    (``"2D9P"``), case-insensitively.
+    """
+    norm = key.strip().lower()
+    if norm in BENCHMARKS:
+        return BENCHMARKS[norm]
+    for case in BENCHMARKS.values():
+        if case.display_name.lower() == norm:
+            return case
+    raise KeyError(f"unknown benchmark {key!r}; known: {sorted(BENCHMARKS)}")

@@ -1,0 +1,53 @@
+"""Lightweight wall-clock timing utilities.
+
+The experiment harness mostly reports *modelled* cycles (see
+:mod:`repro.perfmodel`), but the examples and a few benchmarks also measure
+real wall-clock time of the NumPy executors.  ``Timer`` wraps
+``time.perf_counter`` with a context-manager interface and accumulation so a
+loop body can be timed across iterations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    #: Total accumulated seconds across all ``with`` blocks.
+    elapsed: float = 0.0
+    #: Number of completed ``with`` blocks.
+    count: int = 0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed += time.perf_counter() - self._start
+        self.count += 1
+
+    def reset(self) -> None:
+        """Zero the accumulated time and the completion count."""
+        self.elapsed = 0.0
+        self.count = 0
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per completed block (``0.0`` if never used)."""
+        if self.count == 0:
+            return 0.0
+        return self.elapsed / self.count

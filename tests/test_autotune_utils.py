@@ -1,0 +1,107 @@
+"""Tests for the autotuning helpers and small utilities."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autotune.blocksearch import search_blocking
+from repro.autotune.foldsearch import search_unroll
+from repro.machine import XEON_GOLD_6140_AVX2
+from repro.methods import build_profile
+from repro.stencils.library import box_2d9p, game_of_life, heat_1d, heat_2d
+from repro.utils.tables import format_table
+from repro.utils.timer import Timer
+from repro.utils.validation import assert_allclose, max_abs_error, relative_l2_error
+
+
+class TestBlockSearch:
+    def test_returns_feasible_configuration(self):
+        profile = build_profile("folded", heat_2d(), "avx2", m=2)
+        result = search_blocking(
+            profile,
+            grid_shape=(2048, 2048),
+            radius=1,
+            machine=XEON_GOLD_6140_AVX2,
+            cores=8,
+            time_ranges=(8, 16),
+        )
+        assert result.gflops > 0
+        config = result.config
+        config.validate((2048, 2048), radius=1)
+        assert result.candidates[0][1] == result.gflops
+        assert all(a[1] >= b[1] for a, b in zip(result.candidates, result.candidates[1:]))
+
+    def test_no_feasible_configuration_raises(self):
+        profile = build_profile("folded", heat_2d(), "avx2", m=2)
+        with pytest.raises(ValueError):
+            search_blocking(
+                profile,
+                grid_shape=(4, 4),
+                radius=3,
+                machine=XEON_GOLD_6140_AVX2,
+                cores=1,
+                time_ranges=(64,),
+            )
+
+
+class TestFoldSearch:
+    def test_box_prefers_folding(self):
+        result = search_unroll(box_2d9p(), candidates=(1, 2, 3))
+        assert result.best_m >= 2
+        assert result.profitability[2] == pytest.approx(10.0)
+        assert result.scores[result.best_m] == result.gflops
+
+    def test_nonlinear_returns_smallest_candidate(self):
+        result = search_unroll(game_of_life(), candidates=(2, 3))
+        assert result.best_m == 2
+        assert result.profitability == {}
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            search_unroll(heat_1d(), candidates=())
+
+
+class TestUtilities:
+    def test_format_table_from_mappings(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}], title="demo")
+        assert "demo" in text
+        assert "| a " in text and "0.125" in text
+
+    def test_format_table_from_sequences(self):
+        text = format_table([[1, 2], [3, 4]], headers=["x", "y"])
+        assert text.splitlines()[0].startswith("| x")
+        with pytest.raises(ValueError):
+            format_table([[1, 2]])
+
+    def test_format_table_empty(self):
+        assert format_table([], title="t") == "t\n"
+        assert format_table([]) == ""
+
+    def test_timer_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.001)
+        with t:
+            time.sleep(0.001)
+        assert t.count == 2
+        assert t.elapsed > 0
+        assert t.mean == pytest.approx(t.elapsed / 2)
+        t.reset()
+        assert t.count == 0 and t.mean == 0.0
+
+    def test_validation_helpers(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = a + 1e-13
+        assert max_abs_error(a, b) < 1e-12
+        assert relative_l2_error(a, b) < 1e-12
+        assert relative_l2_error(np.zeros(3), np.zeros(3)) == 0.0
+        assert_allclose(a, b)
+        with pytest.raises(AssertionError):
+            assert_allclose(a, a + 1.0)
+        with pytest.raises(ValueError):
+            max_abs_error(a, np.zeros(4))
+        with pytest.raises(ValueError):
+            relative_l2_error(a, np.zeros(4))

@@ -1,0 +1,207 @@
+"""Tests for the cache hierarchy substrate (repro.cache)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.analytic import (
+    STREAM_BYTES_PER_POINT,
+    estimate_traffic,
+    problem_size_for_level,
+    residency_level,
+)
+from repro.cache.hierarchy import CacheConfig, hierarchy_from_machine, level_capacities
+from repro.cache.simulator import CacheHierarchySimulator
+from repro.machine import XEON_GOLD_6140_AVX2
+
+
+class TestHierarchyConfig:
+    def test_geometry_derivation(self):
+        cfg = CacheConfig(name="L1", capacity_bytes=32 * 1024, line_bytes=64, associativity=8)
+        assert cfg.num_lines == 512
+        assert cfg.num_sets == 64
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", capacity_bytes=0, line_bytes=64, associativity=8)
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", capacity_bytes=100, line_bytes=64, associativity=3)
+
+    def test_hierarchy_from_machine(self):
+        levels = hierarchy_from_machine(XEON_GOLD_6140_AVX2)
+        assert [lvl.name for lvl in levels] == ["L1", "L2", "L3"]
+        assert levels[0].capacity_bytes == 32 * 1024
+
+    def test_l3_partitioning_across_cores(self):
+        full = hierarchy_from_machine(XEON_GOLD_6140_AVX2, cores_sharing_l3=1)
+        shared = hierarchy_from_machine(XEON_GOLD_6140_AVX2, cores_sharing_l3=18)
+        assert shared[2].capacity_bytes < full[2].capacity_bytes
+        assert shared[0].capacity_bytes == full[0].capacity_bytes
+
+    def test_level_capacities_ends_with_memory(self):
+        caps = level_capacities(XEON_GOLD_6140_AVX2)
+        assert caps[-1][0] == "Memory"
+        assert [c[0] for c in caps[:-1]] == ["L1", "L2", "L3"]
+
+
+def _tiny_hierarchy():
+    """A miniature two-level hierarchy for fast exact simulation."""
+    return CacheHierarchySimulator(
+        [
+            CacheConfig(name="L1", capacity_bytes=512, line_bytes=64, associativity=2),
+            CacheConfig(name="L2", capacity_bytes=2048, line_bytes=64, associativity=4),
+        ]
+    )
+
+
+class TestExactSimulator:
+    def test_repeat_access_hits(self):
+        sim = _tiny_hierarchy()
+        sim.access(0)
+        sim.access(0)
+        stats = sim.stats_by_name()
+        assert stats["L1"].hits == 1
+        assert stats["L1"].misses == 1
+        assert sim.dram_reads == 1
+
+    def test_line_granularity(self):
+        sim = _tiny_hierarchy()
+        sim.access(0)
+        sim.access(8)  # same 64-byte line
+        assert sim.stats_by_name()["L1"].hits == 1
+
+    def test_capacity_eviction_and_lru(self):
+        sim = _tiny_hierarchy()
+        # L1 has 8 lines in 4 sets of 2 ways; touching 3 lines mapping to the
+        # same set evicts the least recently used one.
+        num_sets = 4
+        for k in range(3):
+            sim.access(k * num_sets * 64)
+        sim.access(0)  # line 0 was evicted -> L1 miss, L2 hit
+        stats = sim.stats_by_name()
+        assert stats["L1"].misses == 4
+        assert stats["L2"].hits == 1
+
+    def test_writeback_counted(self):
+        sim = _tiny_hierarchy()
+        num_sets_l2 = 8
+        # Dirty a line, then evict it from both levels by filling its sets.
+        sim.access(0, is_write=True)
+        for k in range(1, 6):
+            sim.access(k * num_sets_l2 * 64 * 1, is_write=False)
+        # The victim accounting never loses bytes: writebacks <= evictions.
+        stats = sim.stats_by_name()
+        assert stats["L2"].evictions >= stats["L2"].writebacks
+
+    def test_invariants_hits_plus_misses(self):
+        sim = _tiny_hierarchy()
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 512, size=300) * 8  # aligned doubles
+        for addr in addresses:
+            sim.access(int(addr), is_write=bool(addr % 3 == 0))
+        l1 = sim.stats_by_name()["L1"]
+        assert l1.accesses == 300
+        assert 0.0 <= l1.hit_rate <= 1.0
+        # every L1 miss is an L2 access
+        assert sim.stats_by_name()["L2"].accesses == l1.misses
+
+    def test_sweep_and_touch_array(self):
+        sim = _tiny_hierarchy()
+        sim.sweep_array(0, 64, itemsize=8)  # 512 bytes = 8 lines
+        assert sim.stats_by_name()["L1"].accesses == 8
+        sim.reset_stats()
+        sim.touch_array(0, range(8), itemsize=8)
+        assert sim.stats_by_name()["L1"].accesses == 8
+
+    def test_flush_forces_cold_misses(self):
+        sim = _tiny_hierarchy()
+        sim.access(0)
+        sim.flush()
+        sim.access(0)
+        assert sim.stats_by_name()["L1"].misses == 2
+
+    def test_invalid_inputs(self):
+        sim = _tiny_hierarchy()
+        with pytest.raises(ValueError):
+            sim.access(0, size=0)
+        with pytest.raises(ValueError):
+            CacheHierarchySimulator([])
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_streaming_locality_beats_random(self, seed):
+        """Property: a sequential sweep has a hit rate >= a random access pattern."""
+        rng = np.random.default_rng(seed)
+        seq = _tiny_hierarchy()
+        for i in range(256):
+            seq.access(i * 8)
+        rand = _tiny_hierarchy()
+        for addr in rng.integers(0, 256 * 8, size=256):
+            rand.access(int(addr))
+        assert seq.stats_by_name()["L1"].hit_rate >= rand.stats_by_name()["L1"].hit_rate
+
+
+class TestAnalyticModel:
+    def test_residency_levels(self):
+        m = XEON_GOLD_6140_AVX2
+        assert residency_level(8 * 1024, m) == "L1"
+        assert residency_level(512 * 1024, m) == "L2"
+        assert residency_level(10 * 1024 * 1024, m) == "L3"
+        assert residency_level(200 * 1024 * 1024, m) == "Memory"
+
+    def test_residency_respects_l3_sharing(self):
+        m = XEON_GOLD_6140_AVX2
+        assert residency_level(10 * 1024 * 1024, m, cores_sharing_l3=18) == "Memory"
+
+    def test_traffic_zero_beyond_residency(self):
+        m = XEON_GOLD_6140_AVX2
+        est = estimate_traffic(8 * 1024, m)
+        assert est.residency == "L1"
+        assert est.bytes_from("L3") == 0.0
+        assert est.dram_bytes_per_point_per_step == 0.0
+
+    def test_memory_resident_traffic_is_streaming(self):
+        m = XEON_GOLD_6140_AVX2
+        est = estimate_traffic(200 * 1024 * 1024, m)
+        assert est.dram_bytes_per_point_per_step == pytest.approx(STREAM_BYTES_PER_POINT)
+
+    def test_temporal_reuse_divides_traffic(self):
+        m = XEON_GOLD_6140_AVX2
+        plain = estimate_traffic(200 * 1024 * 1024, m)
+        tiled = estimate_traffic(200 * 1024 * 1024, m, temporal_reuse={"Memory": 10.0})
+        assert tiled.dram_bytes_per_point_per_step == pytest.approx(
+            plain.dram_bytes_per_point_per_step / 10.0
+        )
+
+    def test_folding_halves_sweeps(self):
+        m = XEON_GOLD_6140_AVX2
+        folded = estimate_traffic(200 * 1024 * 1024, m, sweeps_per_step=0.5)
+        assert folded.dram_bytes_per_point_per_step == pytest.approx(STREAM_BYTES_PER_POINT / 2)
+
+    def test_layout_overhead_always_hits_dram(self):
+        m = XEON_GOLD_6140_AVX2
+        est = estimate_traffic(8 * 1024, m, extra_memory_sweeps_per_step=0.002)
+        assert est.dram_bytes_per_point_per_step > 0.0
+
+    def test_problem_size_for_level(self):
+        m = XEON_GOLD_6140_AVX2
+        n_l1 = problem_size_for_level(m, "L1")
+        n_l2 = problem_size_for_level(m, "L2")
+        n_mem = problem_size_for_level(m, "Memory")
+        assert n_l1 < n_l2 < n_mem
+        assert residency_level(n_l1 * 16.0, m) == "L1"
+        assert residency_level(n_mem * 16.0, m) == "Memory"
+        with pytest.raises(KeyError):
+            problem_size_for_level(m, "L9")
+
+    def test_invalid_inputs(self):
+        m = XEON_GOLD_6140_AVX2
+        with pytest.raises(ValueError):
+            estimate_traffic(0, m)
+        with pytest.raises(ValueError):
+            estimate_traffic(100, m, sweeps_per_step=0)
+        with pytest.raises(ValueError):
+            residency_level(-5, m)

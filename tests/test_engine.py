@@ -1,0 +1,154 @@
+"""Integration tests for the StencilEngine public API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ENGINE_METHODS, StencilEngine
+from repro.perfmodel.costmodel import PerformanceEstimate
+from repro.simd.isa import AVX512
+from repro.simd.machine import SimdMachine
+from repro.stencils.boundary import BoundaryCondition
+from repro.stencils.grid import Grid
+from repro.stencils.library import BENCHMARKS, box_2d9p, game_of_life, heat_1d
+from repro.stencils.reference import reference_run
+from repro.tiling.tessellate import TessellationConfig
+from repro.utils.validation import assert_allclose
+
+
+def _small_grid(case, boundary):
+    grid = case.make_grid()
+    grid.boundary = boundary
+    return grid
+
+
+class TestNumericalEquivalence:
+    """Every method must reproduce the reference result on every benchmark."""
+
+    @pytest.mark.parametrize("method", ["multiple_loads", "data_reorg", "dlt", "transpose", "folded"])
+    @pytest.mark.parametrize("boundary", [BoundaryCondition.PERIODIC, BoundaryCondition.DIRICHLET])
+    def test_methods_match_reference(self, benchmark_case, method, boundary):
+        grid = _small_grid(benchmark_case, boundary)
+        engine = StencilEngine(benchmark_case.spec, method=method, unroll=2)
+        steps = 5
+        out = engine.run(grid, steps)
+        ref = reference_run(benchmark_case.spec, grid, steps)
+        assert_allclose(out, ref, context=f"{benchmark_case.key}/{method}/{boundary.value}")
+
+    def test_folded_with_odd_step_count(self):
+        case = BENCHMARKS["2d9p"]
+        grid = case.make_grid((32, 32))
+        engine = StencilEngine(case.spec, method="folded", unroll=2)
+        out = engine.run(grid, 7)
+        ref = reference_run(case.spec, grid, 7)
+        assert_allclose(out, ref)
+
+    def test_folded_with_larger_unroll(self):
+        case = BENCHMARKS["2d9p"]
+        grid = case.make_grid((36, 36))
+        grid.boundary = BoundaryCondition.DIRICHLET
+        engine = StencilEngine(case.spec, method="folded", unroll=3)
+        out = engine.run(grid, 8)
+        ref = reference_run(case.spec, grid, 8)
+        assert_allclose(out, ref)
+
+    def test_tiled_execution_matches_reference(self):
+        case = BENCHMARKS["2d-heat"]
+        grid = case.make_grid((48, 48))
+        tiling = TessellationConfig(block_sizes=(16, 16), time_range=4)
+        engine = StencilEngine(case.spec, method="transpose", tiling=tiling)
+        out = engine.run(grid, 10)
+        ref = reference_run(case.spec, grid, 10)
+        assert_allclose(out, ref)
+
+    def test_zero_steps(self):
+        case = BENCHMARKS["1d-heat"]
+        grid = case.make_grid()
+        engine = StencilEngine(case.spec, method="folded")
+        np.testing.assert_array_equal(engine.run(grid, 0), grid.values)
+
+    def test_reference_method(self):
+        case = BENCHMARKS["1d-heat"]
+        grid = case.make_grid()
+        engine = StencilEngine(case.spec, method="reference")
+        assert_allclose(engine.run(grid, 3), reference_run(case.spec, grid, 3))
+
+
+class TestSimulatedExecution:
+    def test_1d_simulated_matches_reference(self):
+        spec = heat_1d()
+        grid = Grid.random((64,), seed=20)
+        engine = StencilEngine(spec, method="folded", unroll=2)
+        out, counts = engine.run_simulated(grid, 4)
+        ref = reference_run(spec, grid, 4)
+        assert_allclose(out, ref)
+        assert counts.total > 0
+
+    def test_2d_simulated_matches_reference(self):
+        spec = box_2d9p()
+        grid = Grid.random((16, 16), seed=21)
+        engine = StencilEngine(spec, method="transpose")
+        out, counts = engine.run_simulated(grid, 2)
+        ref = reference_run(spec, grid, 2)
+        assert_allclose(out, ref)
+        assert counts.arithmetic > 0
+
+    def test_avx512_simulated(self):
+        spec = heat_1d()
+        grid = Grid.random((128,), seed=22)
+        engine = StencilEngine(spec, method="folded", isa="avx512", unroll=2)
+        out, _ = engine.run_simulated(grid, 2, machine=SimdMachine(AVX512))
+        assert_allclose(out, reference_run(spec, grid, 2))
+
+    def test_simulated_rejects_unsupported_configs(self):
+        spec = heat_1d()
+        grid = Grid.random((64,), seed=23)
+        with pytest.raises(ValueError):
+            StencilEngine(spec, method="dlt").run_simulated(grid, 2)
+        with pytest.raises(ValueError):
+            StencilEngine(game_of_life(), method="folded").run_simulated(
+                Grid.life_random((16, 16)), 2
+            )
+        dirichlet = Grid.random((64,), boundary=BoundaryCondition.DIRICHLET, seed=24)
+        with pytest.raises(ValueError):
+            StencilEngine(spec, method="folded").run_simulated(dirichlet, 2)
+        with pytest.raises(ValueError):
+            StencilEngine(spec, method="folded", unroll=2).run_simulated(grid, 3)
+
+
+class TestConfigurationAndAnalysis:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            StencilEngine(heat_1d(), method="pochoir")
+
+    def test_invalid_unroll_rejected(self):
+        with pytest.raises(ValueError):
+            StencilEngine(heat_1d(), unroll=0)
+
+    def test_engine_methods_cover_registry(self):
+        assert "folded" in ENGINE_METHODS and "reference" in ENGINE_METHODS
+
+    def test_profile_and_estimate(self):
+        engine = StencilEngine(box_2d9p(), method="folded", unroll=2)
+        profile = engine.profile()
+        assert profile.method == "folded"
+        assert profile.sweeps_per_step == pytest.approx(0.5)
+        est = engine.estimate((512, 512), time_steps=100, cores=4)
+        assert isinstance(est, PerformanceEstimate)
+        assert est.gflops > 0
+
+    def test_reference_profile_rejected(self):
+        with pytest.raises(ValueError):
+            StencilEngine(heat_1d(), method="reference").profile()
+
+    def test_folding_report(self):
+        report = StencilEngine(box_2d9p(), method="folded", unroll=2).folding_report()
+        assert report.profitability_optimized == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            StencilEngine(game_of_life(), method="transpose").folding_report()
+
+    def test_negative_steps_rejected(self):
+        engine = StencilEngine(heat_1d())
+        with pytest.raises(ValueError):
+            engine.run(Grid.random((32,)), -1)

@@ -1,0 +1,137 @@
+"""Tests for the data-layout transformations (repro.layout)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.dlt import (
+    dlt_index,
+    dlt_vector_element_spread,
+    dlt_vector_lane_indices,
+    from_dlt_layout,
+    to_dlt_layout,
+)
+from repro.layout.transpose_layout import (
+    blocks_in,
+    from_transpose_layout,
+    to_transpose_layout,
+    transpose_layout_index,
+    vector_element_spread,
+    vector_lane_indices,
+)
+
+
+class TestTransposeLayout:
+    def test_single_block_matches_figure1(self):
+        """A..P stored as columns after the local transpose (Figure 1)."""
+        arr = np.arange(16.0)
+        out = to_transpose_layout(arr, 4)
+        expected = np.array([0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15], dtype=float)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_roundtrip_is_identity(self):
+        arr = np.random.default_rng(0).uniform(size=160)
+        np.testing.assert_array_equal(from_transpose_layout(to_transpose_layout(arr, 4), 4), arr)
+
+    def test_tail_elements_left_untouched(self):
+        arr = np.arange(20.0)
+        out = to_transpose_layout(arr, 4)
+        np.testing.assert_array_equal(out[16:], arr[16:])
+
+    def test_multidimensional_applies_to_innermost_axis(self):
+        arr = np.arange(32.0).reshape(2, 16)
+        out = to_transpose_layout(arr, 4)
+        np.testing.assert_array_equal(out[0], to_transpose_layout(arr[0], 4))
+        np.testing.assert_array_equal(out[1], to_transpose_layout(arr[1], 4))
+
+    def test_index_mapping_agrees_with_transform(self):
+        n = 48
+        arr = np.arange(float(n))
+        out = to_transpose_layout(arr, 4)
+        for i in range(n):
+            assert out[transpose_layout_index(i, 4, n)] == i
+
+    def test_index_mapping_bounds(self):
+        with pytest.raises(IndexError):
+            transpose_layout_index(99, 4, 32)
+
+    def test_vector_lane_indices_are_strided_columns(self):
+        lanes = vector_lane_indices(1, 4, 64)
+        assert lanes == [1, 5, 9, 13]
+        lanes = vector_lane_indices(4, 4, 64)  # first vector of the second block
+        assert lanes == [16, 20, 24, 28]
+
+    def test_spread_is_constant_in_array_length(self):
+        assert vector_element_spread(4, 1 << 20) == 12
+        assert vector_element_spread(8, 1 << 20) == 56
+
+    def test_blocks_in(self):
+        assert blocks_in(40, 4) == (2, 8)
+
+    def test_invalid_vl_rejected(self):
+        with pytest.raises(ValueError):
+            to_transpose_layout(np.zeros(16), 1)
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        nblocks=st.integers(min_value=0, max_value=6),
+        tail=st.integers(min_value=0, max_value=15),
+        vl=st.sampled_from([4, 8]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_roundtrip_property(self, nblocks, tail, vl, seed):
+        n = nblocks * vl * vl + tail
+        arr = np.random.default_rng(seed).uniform(size=n)
+        np.testing.assert_array_equal(from_transpose_layout(to_transpose_layout(arr, vl), vl), arr)
+
+
+class TestDltLayout:
+    def test_layout_positions(self):
+        arr = np.arange(16.0)
+        out = to_dlt_layout(arr, 4)
+        # position j*vl + r holds original element r*seg + j (seg = 4)
+        expected = np.array([0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15], dtype=float)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_roundtrip(self):
+        arr = np.random.default_rng(1).uniform(size=128)
+        np.testing.assert_array_equal(from_dlt_layout(to_dlt_layout(arr, 4), 4), arr)
+
+    def test_requires_divisible_length(self):
+        with pytest.raises(ValueError):
+            to_dlt_layout(np.zeros(30), 4)
+
+    def test_index_mapping_agrees_with_transform(self):
+        n = 64
+        arr = np.arange(float(n))
+        out = to_dlt_layout(arr, 4)
+        for i in range(n):
+            assert out[dlt_index(i, 4, n)] == i
+
+    def test_lane_indices_are_distant(self):
+        lanes = dlt_vector_lane_indices(0, 4, 64)
+        assert lanes == [0, 16, 32, 48]
+
+    def test_spread_grows_with_array_length(self):
+        assert dlt_vector_element_spread(4, 64) == 48
+        assert dlt_vector_element_spread(4, 1 << 20) == 3 * (1 << 18)
+        # The paper's locality argument: DLT spread >> transpose-layout spread.
+        assert dlt_vector_element_spread(4, 1 << 20) > 1000 * vector_element_spread(4, 1 << 20)
+
+    def test_multidimensional_applies_to_innermost_axis(self):
+        arr = np.arange(64.0).reshape(2, 32)
+        out = to_dlt_layout(arr, 4)
+        np.testing.assert_array_equal(out[0], to_dlt_layout(arr[0], 4))
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        seg=st.integers(min_value=1, max_value=32),
+        vl=st.sampled_from([4, 8]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_roundtrip_property(self, seg, vl, seed):
+        arr = np.random.default_rng(seed).uniform(size=seg * vl)
+        np.testing.assert_array_equal(from_dlt_layout(to_dlt_layout(arr, vl), vl), arr)

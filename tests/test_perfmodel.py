@@ -1,0 +1,121 @@
+"""Tests for the cost model (repro.perfmodel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import XEON_GOLD_6140_AVX2
+from repro.methods import build_profile
+from repro.perfmodel.costmodel import estimate_performance, port_pressure_cycles
+from repro.perfmodel.flops import total_useful_gflop, useful_flops_per_point
+from repro.perfmodel.profiles import MethodProfile
+from repro.simd.isa import AVX2, AVX512, InstructionClass
+from repro.simd.machine import InstructionCounts
+from repro.stencils.library import apop, box_2d9p, heat_1d
+
+
+class TestFlops:
+    def test_useful_flops(self):
+        assert useful_flops_per_point(heat_1d()) == 5
+        assert useful_flops_per_point(box_2d9p()) == 17
+
+    def test_total_gflop(self):
+        assert total_useful_gflop(heat_1d(), 1_000_000, 200) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            total_useful_gflop(heat_1d(), -1, 10)
+
+
+class TestPortPressure:
+    def test_single_class_on_single_port(self):
+        counts = InstructionCounts({InstructionClass.PERMUTE: 4.0})
+        assert port_pressure_cycles(counts, AVX2) == pytest.approx(4.0)
+
+    def test_two_port_class_splits_evenly(self):
+        counts = InstructionCounts({InstructionClass.LOAD: 4.0})
+        assert port_pressure_cycles(counts, AVX2) == pytest.approx(1.0)
+
+    def test_flexible_classes_avoid_busy_ports(self):
+        """FMAs should migrate off port 5 when shuffles occupy it (AVX-512)."""
+        counts = InstructionCounts(
+            {InstructionClass.PERMUTE: 2.0, InstructionClass.FMA: 4.0}
+        )
+        cycles = port_pressure_cycles(counts, AVX512)
+        # permutes occupy p5 for 2 cycles; the 2 cycles of FMA occupancy fit
+        # on p0/p1 (1 cycle each), so the bound stays at the permutes plus the
+        # issue-width bound.
+        assert cycles == pytest.approx(2.0)
+
+    def test_issue_width_bound(self):
+        counts = InstructionCounts({InstructionClass.SCALAR: 40.0})
+        assert port_pressure_cycles(counts, AVX2) >= 10.0
+
+    def test_empty_counts(self):
+        assert port_pressure_cycles(InstructionCounts(), AVX2) == 0.0
+
+
+class TestEstimatePerformance:
+    def _profile(self, method, spec=None, isa="avx2", m=2):
+        return build_profile(method, spec or heat_1d(), isa, m=m)
+
+    def test_positive_and_bounded(self):
+        est = estimate_performance(self._profile("folded"), 1 << 20, 1000, XEON_GOLD_6140_AVX2)
+        assert est.gflops > 0
+        assert est.cycles_per_point > 0
+        assert est.gflops_per_core == est.gflops
+
+    def test_cache_resident_problems_are_compute_bound(self):
+        est = estimate_performance(self._profile("multiple_loads"), 1024, 1000, XEON_GOLD_6140_AVX2)
+        assert est.bound == "compute"
+        assert est.residency == "L1"
+
+    def test_memory_resident_problems_are_memory_bound(self):
+        est = estimate_performance(
+            self._profile("multiple_loads"), 1 << 24, 1000, XEON_GOLD_6140_AVX2
+        )
+        assert est.bound == "Memory"
+        assert est.residency == "Memory"
+
+    def test_folding_beats_single_step_when_memory_bound(self):
+        folded = estimate_performance(self._profile("folded"), 1 << 24, 1000, XEON_GOLD_6140_AVX2)
+        single = estimate_performance(self._profile("transpose"), 1 << 24, 1000, XEON_GOLD_6140_AVX2)
+        assert folded.gflops > 1.5 * single.gflops
+
+    def test_transpose_beats_multiple_loads_in_cache(self):
+        ours = estimate_performance(self._profile("transpose"), 2048, 1000, XEON_GOLD_6140_AVX2)
+        ml = estimate_performance(self._profile("multiple_loads"), 2048, 1000, XEON_GOLD_6140_AVX2)
+        assert ours.gflops > ml.gflops
+
+    def test_dlt_layout_overhead_amortises_with_time_steps(self):
+        profile = self._profile("dlt")
+        short = estimate_performance(profile, 2048, 10, XEON_GOLD_6140_AVX2)
+        long = estimate_performance(profile, 2048, 10_000, XEON_GOLD_6140_AVX2)
+        assert long.gflops >= short.gflops
+
+    def test_temporal_reuse_lifts_memory_bound_kernels(self):
+        base = self._profile("transpose", box_2d9p())
+        tiled = base.with_tiling({"L3": 32.0, "Memory": 32.0})
+        plain = estimate_performance(base, 1 << 24, 1000, XEON_GOLD_6140_AVX2)
+        blocked = estimate_performance(tiled, 1 << 24, 1000, XEON_GOLD_6140_AVX2)
+        assert blocked.gflops > plain.gflops
+
+    def test_sync_overhead_reduces_performance(self):
+        profile = self._profile("folded")
+        fast = estimate_performance(profile, 1 << 20, 1000, XEON_GOLD_6140_AVX2)
+        slow = estimate_performance(
+            profile, 1 << 20, 1000, XEON_GOLD_6140_AVX2, sync_overhead_cycles_per_point=5.0
+        )
+        assert slow.gflops < fast.gflops
+
+    def test_apop_streams_three_arrays(self):
+        profile = self._profile("transpose", apop())
+        est = estimate_performance(profile, 1 << 24, 1000, XEON_GOLD_6140_AVX2)
+        assert est.memory_cycles_per_point["Memory"] > 0
+
+    def test_invalid_inputs(self):
+        profile = self._profile("folded")
+        with pytest.raises(ValueError):
+            estimate_performance(profile, 0, 10, XEON_GOLD_6140_AVX2)
+        with pytest.raises(ValueError):
+            estimate_performance(profile, 10, 0, XEON_GOLD_6140_AVX2)
+        with pytest.raises(ValueError):
+            estimate_performance(profile, 10, 10, XEON_GOLD_6140_AVX2, active_cores=0)

@@ -1,0 +1,220 @@
+"""Tests for the simulated SIMD machine (repro.simd)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simd.isa import AVX2, AVX512, InstructionClass, isa_for
+from repro.simd.machine import InstructionCounts, SimdMachine
+from repro.simd.vector import Vector
+
+
+class TestIsa:
+    def test_isa_lookup(self):
+        assert isa_for("avx2") is AVX2
+        assert isa_for("AVX512") is AVX512
+        with pytest.raises(KeyError):
+            isa_for("neon")
+
+    def test_vector_geometry(self):
+        assert AVX2.vector_lanes == 4 and AVX2.vector_bytes == 32
+        assert AVX512.vector_lanes == 8 and AVX512.vector_bytes == 64
+        assert AVX2.registers == 16 and AVX512.registers == 32
+
+    def test_transpose_cost_constants(self):
+        # 8 instructions for the AVX-2 4x4 transpose (Figure 3), 24 for AVX-512.
+        assert AVX2.transpose_stages == 2 and AVX2.transpose_instructions == 8
+        assert AVX512.transpose_stages == 3 and AVX512.transpose_instructions == 24
+
+    def test_every_class_has_a_timing(self):
+        for cls in InstructionClass:
+            assert AVX2.timing(cls).rthroughput > 0
+            assert AVX512.timing(cls).ports
+
+
+class TestVector:
+    def test_immutability(self):
+        v = Vector([1.0, 2.0, 3.0, 4.0])
+        arr = v.to_array()
+        arr[0] = 99.0
+        assert v.lane(0) == 1.0
+
+    def test_broadcast_and_zeros(self):
+        assert list(Vector.broadcast(2.5, 4)) == [2.5] * 4
+        assert list(Vector.zeros(8)) == [0.0] * 8
+
+    def test_lane128(self):
+        v = Vector([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(v.lane128(1), [3.0, 4.0])
+
+    def test_equality(self):
+        assert Vector([1, 2, 3, 4]) == Vector([1, 2, 3, 4])
+        assert Vector([1, 2, 3, 4]) != Vector([1, 2, 3, 5])
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Vector([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            Vector(np.ones((2, 2)))
+
+
+class TestMemoryOps:
+    def test_load_store_roundtrip(self, avx2_machine):
+        arr = np.arange(16.0)
+        v = avx2_machine.load(arr, 4)
+        out = np.zeros(16)
+        avx2_machine.store(v, out, 8)
+        np.testing.assert_array_equal(out[8:12], arr[4:8])
+        assert avx2_machine.counts.get(InstructionClass.LOAD) == 1
+        assert avx2_machine.counts.get(InstructionClass.STORE) == 1
+
+    def test_aligned_load_requires_alignment(self, avx2_machine):
+        arr = np.arange(16.0)
+        with pytest.raises(ValueError):
+            avx2_machine.load(arr, 2, aligned=True)
+        # unaligned access is fine
+        avx2_machine.load(arr, 2, aligned=False)
+
+    def test_out_of_bounds_rejected(self, avx2_machine):
+        arr = np.arange(8.0)
+        with pytest.raises(IndexError):
+            avx2_machine.load(arr, 8)
+        with pytest.raises(IndexError):
+            avx2_machine.store(Vector([1, 2, 3, 4]), arr, 6, aligned=False)
+
+    def test_broadcast(self, avx2_machine):
+        v = avx2_machine.broadcast(3.5)
+        assert list(v) == [3.5] * 4
+        assert avx2_machine.counts.get(InstructionClass.BROADCAST) == 1
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self, avx2_machine):
+        a = Vector([1.0, 2.0, 3.0, 4.0])
+        b = Vector([10.0, 20.0, 30.0, 40.0])
+        assert list(avx2_machine.add(a, b)) == [11, 22, 33, 44]
+        assert list(avx2_machine.sub(b, a)) == [9, 18, 27, 36]
+        assert list(avx2_machine.mul(a, b)) == [10, 40, 90, 160]
+        assert avx2_machine.counts.get(InstructionClass.ARITH) == 3
+
+    def test_fma(self, avx2_machine):
+        a = Vector([1.0, 2.0, 3.0, 4.0])
+        b = Vector([2.0, 2.0, 2.0, 2.0])
+        c = Vector([1.0, 1.0, 1.0, 1.0])
+        assert list(avx2_machine.fma(a, b, c)) == [3, 5, 7, 9]
+        assert avx2_machine.counts.get(InstructionClass.FMA) == 1
+
+    def test_maximum(self, avx2_machine):
+        a = Vector([1.0, 5.0, 2.0, 8.0])
+        b = Vector([4.0, 4.0, 4.0, 4.0])
+        assert list(avx2_machine.maximum(a, b)) == [4, 5, 4, 8]
+
+    def test_wrong_width_rejected(self, avx512_machine):
+        a = Vector([1.0, 2.0, 3.0, 4.0])
+        with pytest.raises(ValueError):
+            avx512_machine.add(a, a)
+
+    def test_weighted_sum(self, avx2_machine):
+        vectors = [Vector([1, 1, 1, 1]), Vector([2, 2, 2, 2]), Vector([3, 3, 3, 3])]
+        out = avx2_machine.weighted_sum(vectors, [0.5, 1.0, 2.0])
+        assert list(out) == [8.5] * 4
+        # one mul + two FMAs + three broadcasts
+        assert avx2_machine.counts.get(InstructionClass.FMA) == 2
+        assert avx2_machine.counts.get(InstructionClass.ARITH) == 1
+        assert avx2_machine.counts.get(InstructionClass.BROADCAST) == 3
+
+
+class TestDataOrganization:
+    def test_blend(self, avx2_machine):
+        a = Vector([1.0, 2.0, 3.0, 4.0])
+        b = Vector([9.0, 8.0, 7.0, 6.0])
+        out = avx2_machine.blend(a, b, [False, True, False, True])
+        assert list(out) == [1, 8, 3, 6]
+
+    def test_rotate(self, avx2_machine):
+        a = Vector([1.0, 2.0, 3.0, 4.0])
+        assert list(avx2_machine.rotate(a, 1)) == [4, 1, 2, 3]
+        assert list(avx2_machine.rotate(a, -1)) == [2, 3, 4, 1]
+
+    def test_unpack(self, avx2_machine):
+        a = Vector([1.0, 2.0, 3.0, 4.0])
+        b = Vector([5.0, 6.0, 7.0, 8.0])
+        assert list(avx2_machine.unpacklo(a, b)) == [1, 5, 3, 7]
+        assert list(avx2_machine.unpackhi(a, b)) == [2, 6, 4, 8]
+        assert avx2_machine.counts.get(InstructionClass.SHUFFLE) == 2
+
+    def test_permute2f128(self, avx2_machine):
+        a = Vector([1.0, 2.0, 3.0, 4.0])
+        b = Vector([5.0, 6.0, 7.0, 8.0])
+        out = avx2_machine.permute2f128(a, b, 0, 2)
+        assert list(out) == [1, 2, 5, 6]
+        assert avx2_machine.counts.get(InstructionClass.PERMUTE) == 1
+
+    def test_permute2f128_requires_4_lanes(self, avx512_machine):
+        a = Vector.zeros(8)
+        with pytest.raises(ValueError):
+            avx512_machine.permute2f128(a, a, 0, 2)
+
+    def test_exchange_blocks_matches_unpack_and_permute(self, avx2_machine):
+        a = Vector([1.0, 2.0, 3.0, 4.0])
+        b = Vector([5.0, 6.0, 7.0, 8.0])
+        assert avx2_machine.exchange_blocks(a, b, 1, high=False) == avx2_machine.unpacklo(a, b)
+        assert avx2_machine.exchange_blocks(a, b, 1, high=True) == avx2_machine.unpackhi(a, b)
+        assert avx2_machine.exchange_blocks(a, b, 2, high=False) == avx2_machine.permute2f128(a, b, 0, 2)
+        assert avx2_machine.exchange_blocks(a, b, 2, high=True) == avx2_machine.permute2f128(a, b, 1, 3)
+
+    def test_exchange_blocks_invalid_block(self, avx2_machine):
+        a = Vector.zeros(4)
+        with pytest.raises(ValueError):
+            avx2_machine.exchange_blocks(a, a, 4, high=False)
+
+
+class TestAccounting:
+    def test_reset(self, avx2_machine):
+        avx2_machine.broadcast(1.0)
+        avx2_machine.reset()
+        assert avx2_machine.counts.total == 0
+        assert avx2_machine.peak_live_registers == 0
+
+    def test_register_pressure_and_spills(self, avx2_machine):
+        avx2_machine.note_live_registers(10)
+        assert avx2_machine.peak_live_registers == 10
+        assert avx2_machine.spill_count == 0
+        avx2_machine.note_live_registers(20)
+        assert avx2_machine.spill_count == 4  # 20 - 16 architectural registers
+        assert avx2_machine.counts.get(InstructionClass.STORE) == 4
+        assert avx2_machine.counts.get(InstructionClass.LOAD) == 4
+
+    def test_negative_live_registers_rejected(self, avx2_machine):
+        with pytest.raises(ValueError):
+            avx2_machine.note_live_registers(-1)
+
+    def test_counts_merge_and_scale(self):
+        a = InstructionCounts({InstructionClass.FMA: 2.0})
+        b = InstructionCounts({InstructionClass.FMA: 1.0, InstructionClass.LOAD: 4.0})
+        merged = a.merge(b)
+        assert merged.get(InstructionClass.FMA) == 3.0
+        assert merged.get(InstructionClass.LOAD) == 4.0
+        scaled = merged.scaled(0.5)
+        assert scaled.get(InstructionClass.FMA) == 1.5
+        # merging must not mutate the originals
+        assert a.get(InstructionClass.FMA) == 2.0
+
+    def test_counts_categories(self):
+        counts = InstructionCounts(
+            {
+                InstructionClass.FMA: 2.0,
+                InstructionClass.ARITH: 1.0,
+                InstructionClass.PERMUTE: 3.0,
+                InstructionClass.BLEND: 1.0,
+                InstructionClass.LOAD: 2.0,
+                InstructionClass.LOADU: 1.0,
+                InstructionClass.STORE: 1.0,
+            }
+        )
+        assert counts.arithmetic == 3.0
+        assert counts.data_organization == 4.0
+        assert counts.memory == 4.0
+        assert counts.total == 11.0
+        assert counts.as_dict()["fma"] == 2.0

@@ -1,0 +1,180 @@
+"""Tests for the in-register transposes and assembled-neighbour kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simd.isa import AVX2, AVX512, InstructionClass
+from repro.simd.kernels import (
+    assemble_left_neighbor,
+    assemble_right_neighbor,
+    assemble_shifted,
+    neighbor_vectors_1d,
+)
+from repro.simd.machine import SimdMachine
+from repro.simd.transpose import (
+    register_transpose,
+    transpose_4x4,
+    transpose_8x8,
+    transpose_cost,
+)
+from repro.simd.vector import Vector
+
+
+def _matrix_vectors(vl: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    mat = rng.uniform(-1, 1, size=(vl, vl))
+    return mat, [Vector(row) for row in mat]
+
+
+class TestRegisterTranspose:
+    def test_4x4_figure3_sequence_transposes(self):
+        machine = SimdMachine(AVX2)
+        mat, vecs = _matrix_vectors(4)
+        out = transpose_4x4(machine, vecs)
+        np.testing.assert_allclose(np.array([v.to_array() for v in out]), mat.T)
+
+    def test_4x4_uses_exactly_8_instructions(self):
+        """The paper's Figure 3 kernel: 4 permute2f128 + 4 unpack = 8."""
+        machine = SimdMachine(AVX2)
+        _, vecs = _matrix_vectors(4)
+        transpose_4x4(machine, vecs)
+        assert machine.counts.get(InstructionClass.PERMUTE) == 4
+        assert machine.counts.get(InstructionClass.SHUFFLE) == 4
+        assert machine.counts.total == 8
+
+    def test_generic_transpose_matches_explicit_4x4(self):
+        m1, m2 = SimdMachine(AVX2), SimdMachine(AVX2)
+        mat, vecs = _matrix_vectors(4, seed=3)
+        explicit = transpose_4x4(m1, vecs)
+        generic = register_transpose(m2, vecs)
+        assert explicit == generic
+        assert m1.counts.as_dict() == m2.counts.as_dict()
+
+    def test_8x8_transposes_in_24_instructions(self):
+        machine = SimdMachine(AVX512)
+        mat, vecs = _matrix_vectors(8, seed=1)
+        out = transpose_8x8(machine, vecs)
+        np.testing.assert_allclose(np.array([v.to_array() for v in out]), mat.T)
+        assert machine.counts.total == 24
+        # Last stage is in-lane (SHUFFLE), the two earlier stages lane-crossing.
+        assert machine.counts.get(InstructionClass.SHUFFLE) == 8
+        assert machine.counts.get(InstructionClass.PERMUTE) == 16
+
+    def test_transpose_cost_helper(self):
+        assert transpose_cost(4) == 8
+        assert transpose_cost(8) == 24
+        assert transpose_cost(2) == 2
+
+    def test_wrong_vector_count_rejected(self):
+        machine = SimdMachine(AVX2)
+        _, vecs = _matrix_vectors(4)
+        with pytest.raises(ValueError):
+            register_transpose(machine, vecs[:3])
+        with pytest.raises(ValueError):
+            transpose_4x4(SimdMachine(AVX512), vecs)
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_transpose_is_involution(self, seed):
+        """Property: transposing twice restores the original registers."""
+        machine = SimdMachine(AVX2)
+        mat, vecs = _matrix_vectors(4, seed=seed)
+        twice = register_transpose(machine, register_transpose(machine, vecs))
+        np.testing.assert_allclose(np.array([v.to_array() for v in twice]), mat)
+
+
+class TestAssembledNeighbors:
+    """Verify Figure 2: the assembled dependence vectors of a vector set."""
+
+    def _sets(self, machine, data, set_index):
+        vl = machine.vl
+        block = vl * vl
+        nsets = data.size // block
+
+        def column(si, j):
+            base = (si % nsets) * block
+            return Vector(data[base + j * vl : base + (j + 1) * vl])
+
+        current = [column(set_index, j) for j in range(vl)]
+        previous = [column(set_index - 1, j) for j in range(vl)]
+        nxt = [column(set_index + 1, j) for j in range(vl)]
+        return current, previous, nxt
+
+    def _transposed(self, n, vl):
+        """Array in transpose layout whose value at layout position p encodes p's original index."""
+        from repro.layout.transpose_layout import to_transpose_layout
+
+        return to_transpose_layout(np.arange(float(n)), vl)
+
+    def test_left_neighbor_matches_paper_example(self):
+        machine = SimdMachine(AVX2)
+        data = self._transposed(64, 4)
+        current, previous, nxt = self._sets(machine, data, 1)
+        left = assemble_left_neighbor(machine, current[3], previous[3])
+        # register 0 of set 1 holds originals {16, 20, 24, 28}; its left
+        # dependence vector is {15, 19, 23, 27}.
+        np.testing.assert_array_equal(left.to_array(), [15, 19, 23, 27])
+
+    def test_right_neighbor_matches_paper_example(self):
+        machine = SimdMachine(AVX2)
+        data = self._transposed(64, 4)
+        current, previous, nxt = self._sets(machine, data, 1)
+        right = assemble_right_neighbor(machine, current[0], nxt[0])
+        # register 3 of set 1 holds originals {19, 23, 27, 31}; its right
+        # dependence vector is {20, 24, 28, 32}.
+        np.testing.assert_array_equal(right.to_array(), [20, 24, 28, 32])
+
+    def test_each_assembled_vector_costs_two_instructions(self):
+        machine = SimdMachine(AVX2)
+        data = self._transposed(64, 4)
+        current, previous, nxt = self._sets(machine, data, 1)
+        machine.reset()
+        assemble_left_neighbor(machine, current[3], previous[3])
+        assert machine.counts.get(InstructionClass.BLEND) == 1
+        assert machine.counts.get(InstructionClass.PERMUTE) == 1
+        assert machine.counts.total == 2
+
+    @pytest.mark.parametrize("vl", [4, 8])
+    @pytest.mark.parametrize("offset", [-4, -3, -2, -1, 1, 2, 3, 4])
+    def test_assemble_shifted_produces_the_right_column(self, vl, offset):
+        if abs(offset) > vl:
+            pytest.skip("offset beyond vector length")
+        machine = SimdMachine(AVX2 if vl == 4 else AVX512)
+        n = vl * vl * 4
+        data = self._transposed(n, vl)
+        current, previous, nxt = self._sets(machine, data, 2)
+        out = assemble_shifted(machine, current, previous, nxt, offset)
+        base = 2 * vl * vl
+        if offset < 0:
+            expected = [base + offset + j * vl for j in range(vl)]
+        else:
+            expected = [base + (vl - 1) + offset + j * vl for j in range(vl)]
+        np.testing.assert_array_equal(out.to_array(), expected)
+
+    def test_assemble_shifted_rejects_bad_offsets(self):
+        machine = SimdMachine(AVX2)
+        data = self._transposed(64, 4)
+        current, previous, nxt = self._sets(machine, data, 1)
+        with pytest.raises(ValueError):
+            assemble_shifted(machine, current, previous, nxt, 0)
+        with pytest.raises(ValueError):
+            assemble_shifted(machine, current, previous, nxt, 5)
+
+    def test_neighbor_vectors_window_semantics(self):
+        """The slice [j : j + 2r + 1] holds the dependence columns of register j."""
+        machine = SimdMachine(AVX2)
+        radius = 2
+        data = self._transposed(4 * 16, 4)
+        current, previous, nxt = self._sets(machine, data, 1)
+        cols = neighbor_vectors_1d(machine, current, previous, nxt, radius)
+        assert len(cols) == 4 + 2 * radius
+        base = 16
+        for j in range(4):
+            for t, vec in enumerate(cols[j : j + 2 * radius + 1]):
+                col = j + t - radius
+                expected = [base + col + k * 4 for k in range(4)]
+                np.testing.assert_array_equal(vec.to_array(), expected)

@@ -1,0 +1,127 @@
+"""Tests for the benchmark library (repro.stencils.library)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stencils.boundary import BoundaryCondition
+from repro.stencils.library import (
+    BENCHMARKS,
+    apop,
+    game_of_life,
+    general_box_2d9p,
+    get_benchmark,
+)
+from repro.stencils.reference import reference_run, reference_step
+
+
+class TestBenchmarkTable:
+    def test_all_nine_paper_benchmarks_present(self):
+        expected = {
+            "1d-heat",
+            "1d5p",
+            "apop",
+            "2d-heat",
+            "2d9p",
+            "game-of-life",
+            "gb",
+            "3d-heat",
+            "3d27p",
+        }
+        assert set(BENCHMARKS) == expected
+
+    def test_point_counts_match_table1(self, benchmark_case):
+        expected = {
+            "1d-heat": 3,
+            "1d5p": 5,
+            "apop": 3,  # 3 points on the value array (+ the payoff array)
+            "2d-heat": 5,
+            "2d9p": 9,
+            "game-of-life": 8,
+            "gb": 9,
+            "3d-heat": 7,
+            "3d27p": 27,
+        }
+        assert benchmark_case.spec.npoints == expected[benchmark_case.key]
+
+    def test_problem_sizes_match_table1(self):
+        assert BENCHMARKS["1d-heat"].problem_size == (10_240_000,)
+        assert BENCHMARKS["2d9p"].problem_size == (5000, 5000)
+        assert BENCHMARKS["3d27p"].problem_size == (400, 400, 400)
+        assert all(case.time_steps == 1000 for case in BENCHMARKS.values())
+
+    def test_blocking_sizes_match_table1(self):
+        assert BENCHMARKS["1d-heat"].blocking_size == (2000, 1000)
+        assert BENCHMARKS["2d9p"].blocking_size == (120, 128, 60)
+        assert BENCHMARKS["3d-heat"].blocking_size == (20, 20, 10)
+
+    def test_get_benchmark_accepts_display_name(self):
+        assert get_benchmark("Game of Life").key == "game-of-life"
+        assert get_benchmark("2D9P").key == "2d9p"
+
+    def test_get_benchmark_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            get_benchmark("9d81p")
+
+    def test_grid_factories_produce_matching_dimensionality(self, benchmark_case):
+        grid = benchmark_case.make_grid()
+        assert grid.dims == len(benchmark_case.problem_size)
+        assert grid.shape == benchmark_case.test_size
+
+
+class TestStencilProperties:
+    def test_heat_weights_are_convex(self):
+        for key in ("1d-heat", "2d-heat", "3d-heat", "1d5p", "2d9p", "3d27p"):
+            kernel = BENCHMARKS[key].spec.kernel
+            assert kernel.sum() == pytest.approx(1.0)
+            assert np.all(kernel >= 0.0)
+
+    def test_gb_has_nine_distinct_weights(self):
+        kernel = general_box_2d9p().kernel
+        assert len(np.unique(kernel)) == 9
+
+    def test_gb_is_deterministic(self):
+        np.testing.assert_array_equal(general_box_2d9p().kernel, general_box_2d9p().kernel)
+
+    def test_apop_is_nonlinear_with_payoff_aux(self):
+        spec = apop()
+        assert not spec.linear
+        assert spec.aux_name == "payoff"
+        assert not spec.foldable
+
+    def test_apop_never_drops_below_payoff(self):
+        case = BENCHMARKS["apop"]
+        grid = case.make_grid((256,))
+        values = reference_run(case.spec, grid, 50)
+        assert np.all(values >= grid.aux - 1e-12)
+
+    def test_apop_requires_aux(self):
+        case = BENCHMARKS["apop"]
+        grid = case.make_grid((64,))
+        with pytest.raises(ValueError):
+            reference_step(case.spec, grid.values, grid.boundary, aux=None)
+
+    def test_game_of_life_produces_binary_states(self):
+        spec = game_of_life()
+        case = BENCHMARKS["game-of-life"]
+        grid = case.make_grid((32, 32))
+        values = reference_run(spec, grid, 5)
+        assert set(np.unique(values)).issubset({0.0, 1.0})
+
+    def test_game_of_life_blinker_oscillates(self):
+        spec = game_of_life()
+        board = np.zeros((8, 8))
+        board[4, 3:6] = 1.0  # horizontal blinker
+        one = reference_step(spec, board, BoundaryCondition.PERIODIC)
+        two = reference_step(spec, one, BoundaryCondition.PERIODIC)
+        # After one step the blinker is vertical; after two it is back.
+        assert one[3, 4] == 1.0 and one[5, 4] == 1.0 and one[4, 3] == 0.0
+        np.testing.assert_array_equal(two, board)
+
+    def test_game_of_life_block_is_still_life(self):
+        spec = game_of_life()
+        board = np.zeros((8, 8))
+        board[3:5, 3:5] = 1.0
+        stepped = reference_step(spec, board, BoundaryCondition.PERIODIC)
+        np.testing.assert_array_equal(stepped, board)
