@@ -1,4 +1,4 @@
-"""Conway's Game of Life through the tessellated stencil engine.
+"""Conway's Game of Life through a tessellated execution plan.
 
 Run with::
 
@@ -7,7 +7,7 @@ Run with::
 The Game of Life is the paper's example of a non-linear "stencil" whose
 update depends on all 8 neighbours.  Temporal folding cannot restructure its
 arithmetic (the rule is not a weighted sum), but the rest of the machinery —
-the tile schedules, the concurrent executor, the engine API — applies
+the tile schedules, the concurrent executor, the plan API — applies
 unchanged.  The example evolves a glider plus a random soup, prints the
 population curve and verifies that the glider reappears translated after 4
 generations on an otherwise empty board.
@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Grid, StencilEngine, TessellationConfig
+import repro
+from repro import Grid
 from repro.stencils.boundary import BoundaryCondition
 from repro.stencils.library import game_of_life
 from repro.stencils.reference import reference_run
@@ -55,10 +56,11 @@ def main() -> None:
 
     # --- random soup through the tessellated engine -------------------- #
     grid = Grid.life_random((96, 96), density=0.35, seed=2024)
-    engine = StencilEngine(
-        spec,
-        method="transpose",
-        tiling=TessellationConfig(block_sizes=(32, 32), time_range=8),
+    life_plan = (
+        repro.plan(spec)
+        .method("transpose")
+        .tile(block_sizes=(32, 32), time_range=8)
+        .compile()
     )
     rows = []
     board_now = grid.copy()
@@ -66,7 +68,7 @@ def main() -> None:
     previous = 0
     for gen in generations:
         if gen > previous:
-            board_now = board_now.with_values(engine.run(board_now, gen - previous))
+            board_now = board_now.with_values(life_plan.run(board_now, gen - previous))
             previous = gen
         rows.append({"generation": gen, "population": int(board_now.values.sum())})
     print()

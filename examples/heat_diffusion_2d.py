@@ -7,7 +7,7 @@ Run with::
 A Gaussian temperature bump diffuses on a plate with cold (Dirichlet)
 boundaries.  The same simulation is executed through four different paths of
 the library — the naive reference, the DLT-layout baseline, the 2-step folded
-engine and tessellate tiling with the concurrent tile executor — and the
+plan and tessellate tiling with the concurrent tile executor — and the
 example reports the pairwise deviations (machine-epsilon level) together with
 the physical diagnostics (total heat, peak temperature) over time.
 """
@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Grid, StencilEngine, TessellationConfig
-from repro.parallel.executor import tessellate_run_parallel
+import repro
+from repro import Grid
 from repro.stencils.boundary import BoundaryCondition
 from repro.stencils.library import heat_2d
 from repro.stencils.reference import reference_run
@@ -36,16 +36,22 @@ def main() -> None:
     reference = reference_run(spec, grid, steps)
 
     # DLT baseline (computes in the dimension-lifted layout).
-    dlt_engine = StencilEngine(spec, method="dlt", isa="avx2")
-    dlt_result = dlt_engine.run(grid, steps)
+    dlt_plan = repro.plan(spec).method("dlt").isa("avx2").compile()
+    dlt_result = dlt_plan.run(grid, steps)
 
-    # Our folded engine (2 steps per pass, exact Dirichlet band handling).
-    folded_engine = StencilEngine(spec, method="folded", isa="avx2", unroll=2)
-    folded_result = folded_engine.run(grid, steps)
+    # Our folded plan (2 steps per pass, exact Dirichlet band handling).
+    folded_plan = repro.plan(spec).method("folded").isa("avx2").unroll(2).compile()
+    folded_result = folded_plan.run(grid, steps)
 
     # Tessellate tiling executed with concurrent tiles.
-    tiling = TessellationConfig(block_sizes=(32, 32), time_range=8)
-    tiled_result = tessellate_run_parallel(spec, grid, steps, tiling, workers=4)
+    tiled_plan = (
+        repro.plan(spec)
+        .method("transpose")
+        .tile(block_sizes=(32, 32), time_range=8)
+        .parallel(workers=4)
+        .compile()
+    )
+    tiled_result = tiled_plan.run(grid, steps)
 
     rows = [
         {"path": "DLT layout", "max |Δ| vs reference": float(np.max(np.abs(dlt_result - reference)))},
@@ -55,14 +61,14 @@ def main() -> None:
     print()
     print(format_table(rows, float_fmt=".2e", title="Numerical agreement of the execution paths"))
 
-    # Physical diagnostics over time (using the folded engine).
+    # Physical diagnostics over time (using the folded plan).
     diag_rows = []
     snapshot = grid.copy()
     previous_checkpoint = 0
     for checkpoint in (0, 10, 20, 40, 60):
         if checkpoint > previous_checkpoint:
             snapshot = snapshot.with_values(
-                folded_engine.run(snapshot, checkpoint - previous_checkpoint)
+                folded_plan.run(snapshot, checkpoint - previous_checkpoint)
             )
             previous_checkpoint = checkpoint
         diag_rows.append(
@@ -72,7 +78,7 @@ def main() -> None:
                 "total heat": float(snapshot.values.sum()),
             }
         )
-    print(format_table(diag_rows, title="Diffusion diagnostics (folded engine)"))
+    print(format_table(diag_rows, title="Diffusion diagnostics (folded plan)"))
     print("Peak temperature decays and heat leaks through the cold boundary, as physics demands.")
 
 

@@ -1,4 +1,4 @@
-"""APOP: American put option pricing with the folded stencil engine.
+"""APOP: American put option pricing with a folded execution plan.
 
 Run with::
 
@@ -13,7 +13,7 @@ payoff — a non-linear stencil reading two input arrays.
 The example prices an American put, reports the value at a few spot prices,
 locates the early-exercise boundary and verifies three financial sanity
 properties: the American value never drops below the payoff, it dominates the
-European value (computed with the same engine minus the exercise rule), and
+European value (computed with the same plan minus the exercise rule), and
 it increases with the option's remaining lifetime.
 """
 
@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Grid, StencilEngine
+import repro
+from repro import Grid
 from repro.stencils.boundary import BoundaryCondition
 from repro.stencils.library import apop
 from repro.stencils.spec import StencilSpec
@@ -43,18 +44,18 @@ def price_grid() -> tuple[np.ndarray, Grid]:
 def main() -> None:
     spec = apop()
     prices, grid = price_grid()
-    engine = StencilEngine(spec, method="folded", isa="avx2", unroll=2)
+    american_plan = repro.plan(spec).method("folded").isa("avx2").unroll(2).compile()
 
-    american = engine.run(grid, TIME_STEPS)
+    american = american_plan.run(grid, TIME_STEPS)
 
     # European counterpart: same continuation weights, no early-exercise max.
     european_spec = StencilSpec(name="apop-european", kernel=spec.kernel)
-    european_engine = StencilEngine(european_spec, method="folded", unroll=2)
-    european = european_engine.run(
+    european_plan = repro.plan(european_spec).method("folded").unroll(2).compile()
+    european = european_plan.run(
         Grid(values=grid.values.copy(), boundary=BoundaryCondition.DIRICHLET), TIME_STEPS
     )
 
-    shorter = engine.run(grid, TIME_STEPS // 4)
+    shorter = american_plan.run(grid, TIME_STEPS // 4)
 
     rows = []
     for spot in (60.0, 80.0, 100.0, 120.0, 150.0):

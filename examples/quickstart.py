@@ -1,67 +1,66 @@
-"""Quickstart: fold a 9-point box stencil and inspect what the paper's scheme buys.
+"""Quickstart: compile a plan once, run it many times, inspect what it buys.
 
 Run with::
 
     python examples/quickstart.py
 
-The example walks through the library's main entry points:
+The example walks through the compile-once/run-many API:
 
 1. pick a benchmark stencil (the 2-D 9-point box of the paper's running
-   example),
-2. execute it with the temporal-computation-folding engine and check the
-   result against the naive reference,
-3. print the Section 3.2 profitability analysis (|C(E)| = 90, |C(E_Λ)| = 9,
-   P = 10 for this stencil),
-4. print the modelled performance of every vectorization method on the
-   paper's Xeon Gold 6140 for a memory-resident problem.
+   example) and compile an execution plan with the fluent builder,
+2. execute it — one grid, then a whole batch through the thread-pool batch
+   executor — and check the results against the naive reference,
+3. print the plan's ``explain()`` dump and the Section 3.2 profitability
+   analysis (|C(E)| = 90, |C(E_Λ)| = 9, P = 10 for this stencil),
+4. print the modelled performance of every registered vectorization method
+   on the paper's Xeon Gold 6140 for a memory-resident problem.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    StencilEngine,
-    build_profile,
-    estimate_performance,
-    get_benchmark,
-    machine_for_isa,
-    METHOD_KEYS,
-    METHOD_LABELS,
-)
+import repro
+from repro import METHOD_KEYS, build_profile, estimate_performance, label_for, machine_for_isa
 from repro.stencils.reference import reference_run
 from repro.utils.tables import format_table
 
 
 def main() -> None:
-    case = get_benchmark("2d9p")
+    case = repro.get_benchmark("2d9p")
     spec = case.spec
     print(f"Stencil: {spec.name} ({spec.npoints}-point {spec.shape_class.value}, {spec.dims}-D)")
 
     # ------------------------------------------------------------------ #
-    # 1. run the folded engine and validate against the reference
+    # 1. compile a plan: method + ISA + unrolling, validated once
     # ------------------------------------------------------------------ #
-    grid = case.make_grid((128, 128))
-    engine = StencilEngine(spec, method="folded", isa="avx2", unroll=2)
+    p = repro.plan(spec).method("folded").isa("avx2").unroll(2).compile()
+
+    # ------------------------------------------------------------------ #
+    # 2. run one grid, then a batch — both validated against the reference
+    # ------------------------------------------------------------------ #
     steps = 10
-    result = engine.run(grid, steps)
+    grid = case.make_grid((128, 128))
+    result = p.run(grid, steps)
     reference = reference_run(spec, grid, steps)
     error = float(np.max(np.abs(result - reference)))
     print(f"\nRan {steps} time steps on a {grid.shape} grid with 2-step folding.")
     print(f"Maximum deviation from the naive reference: {error:.2e}")
 
-    # ------------------------------------------------------------------ #
-    # 2. the paper's profitability analysis (Section 3.2)
-    # ------------------------------------------------------------------ #
-    report = engine.folding_report()
-    print("\nTemporal computation folding analysis (m = 2):")
-    print(f"  |C(E)|  naive expansion        : {report.collect_naive}")
-    print(f"  |C(E_Λ)| plain folding          : {report.collect_folded}")
-    print(f"  |C(E_Λ)| vertical+horizontal    : {report.collect_optimized}")
-    print(f"  profitability index P(E, E_Λ)   : {report.profitability_optimized:.1f}")
+    grids = [case.make_grid((64, 64), seed=s) for s in range(8)]
+    batch = p.run_batch(grids, steps)
+    sequential = [p.run(g, steps) for g in grids]
+    identical = all(np.array_equal(a, b) for a, b in zip(batch, sequential))
+    print(f"Batch of {len(grids)} grids through the thread pool, bit-identical: {identical}")
 
     # ------------------------------------------------------------------ #
-    # 3. modelled performance of every method on the paper's machine
+    # 3. what did the compiler decide?  (includes the Section 3.2 analysis)
+    # ------------------------------------------------------------------ #
+    print()
+    print(p.explain())
+
+    # ------------------------------------------------------------------ #
+    # 4. modelled performance of every method on the paper's machine
     # ------------------------------------------------------------------ #
     machine = machine_for_isa("avx2")
     npoints = 1 << 24  # memory resident
@@ -71,7 +70,7 @@ def main() -> None:
         est = estimate_performance(profile, npoints, time_steps=1000, machine=machine)
         rows.append(
             {
-                "method": METHOD_LABELS[method],
+                "method": label_for(method),
                 "GFLOP/s (1 core)": est.gflops,
                 "bound": est.bound,
             }

@@ -11,14 +11,20 @@ multicore performance model mirroring the paper's Xeon Gold 6140.
 
 Quick start
 -----------
->>> from repro import StencilEngine, get_benchmark
->>> case = get_benchmark("2d9p")
->>> engine = StencilEngine(case.spec, method="folded", isa="avx2", unroll=2)
+>>> import repro
+>>> case = repro.get_benchmark("2d9p")
+>>> p = repro.plan(case.spec).method("folded").isa("avx2").unroll(2).compile()
 >>> grid = case.make_grid()
->>> result = engine.run(grid, steps=4)
->>> report = engine.folding_report()
->>> round(report.profitability_optimized, 1)
+>>> result = p.run(grid, steps=4)
+>>> batch = p.run_batch([case.make_grid(seed=s) for s in range(4)], steps=4)
+>>> round(p.folding_report().profitability_optimized, 1)
 10.0
+
+Methods are looked up in a pluggable registry
+(:mod:`repro.registry`); register new backends with
+:func:`~repro.registry.register_method`.  The legacy
+:class:`~repro.core.engine.StencilEngine` remains as a deprecated wrapper
+over the plan API.
 """
 
 from repro.machine import (
@@ -29,7 +35,17 @@ from repro.machine import (
     machine_for_isa,
 )
 from repro.methods import METHOD_KEYS, METHOD_LABELS, build_profile
+from repro.registry import (
+    MethodDescriptor,
+    get_method,
+    label_for,
+    method_keys,
+    method_labels,
+    register_method,
+)
+from repro.core.plan import CompiledPlan, PlanBuilder, PlanConfig, plan
 from repro.core.engine import StencilEngine, EngineConfig
+from repro.parallel.executor import run_plan_batch
 from repro.core.folding import analyze_folding, profitability, folding_matrix
 from repro.core.vectorized_folding import FoldingSchedule
 from repro.stencils.grid import Grid
@@ -40,7 +56,7 @@ from repro.stencils.reference import reference_run, reference_step
 from repro.tiling.tessellate import TessellationConfig, tessellate_run
 from repro.perfmodel.costmodel import estimate_performance, PerformanceEstimate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MachineSpec",
@@ -51,6 +67,17 @@ __all__ = [
     "METHOD_KEYS",
     "METHOD_LABELS",
     "build_profile",
+    "MethodDescriptor",
+    "get_method",
+    "label_for",
+    "method_keys",
+    "method_labels",
+    "register_method",
+    "plan",
+    "PlanBuilder",
+    "PlanConfig",
+    "CompiledPlan",
+    "run_plan_batch",
     "StencilEngine",
     "EngineConfig",
     "analyze_folding",

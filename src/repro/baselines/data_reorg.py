@@ -25,11 +25,18 @@ from repro.baselines.common import (
 )
 from repro.perfmodel.flops import useful_flops_per_point
 from repro.perfmodel.profiles import MethodProfile
+from repro.registry import register_method
 from repro.simd.isa import InstructionClass, isa_for
 from repro.simd.machine import InstructionCounts
 from repro.stencils.spec import StencilSpec
 
 
+@register_method(
+    "data_reorg",
+    label="Data Reorganization",
+    figure_order=1,
+    description="aligned loads + in-register shift/permute reorganisation",
+)
 def profile_data_reorg(spec: StencilSpec, isa: str = "avx2") -> MethodProfile:
     """Build the per-point instruction profile of the data-reorganisation method."""
     isa_spec = isa_for(isa)

@@ -31,6 +31,7 @@ from repro.baselines.common import (
 from repro.layout.dlt import from_dlt_layout, to_dlt_layout
 from repro.perfmodel.flops import useful_flops_per_point
 from repro.perfmodel.profiles import MethodProfile
+from repro.registry import register_method, set_executor
 from repro.simd.isa import InstructionClass, isa_for
 from repro.simd.machine import InstructionCounts
 from repro.stencils.boundary import BoundaryCondition, DIRICHLET_VALUE
@@ -41,6 +42,12 @@ from repro.stencils.spec import StencilSpec
 # --------------------------------------------------------------------------- #
 # instruction profile
 # --------------------------------------------------------------------------- #
+@register_method(
+    "dlt",
+    label="DLT",
+    figure_order=2,
+    description="dimension-lifted transpose (Henretty et al.)",
+)
 def profile_dlt(spec: StencilSpec, isa: str = "avx2") -> MethodProfile:
     """Build the per-point instruction profile of the DLT method."""
     isa_spec = isa_for(isa)
@@ -203,3 +210,27 @@ def dlt_run_1d(spec: StencilSpec, grid: Grid, steps: int, vl: int = 4) -> np.nda
     if grid.dims != 1:
         raise ValueError("dlt_run_1d expects a 1-D grid")
     return dlt_run(spec, grid, steps, vl)
+
+
+# --------------------------------------------------------------------------- #
+# registry executor
+# --------------------------------------------------------------------------- #
+def _execute_dlt(plan, grid: Grid, steps: int) -> np.ndarray:
+    """Numeric path of a compiled DLT plan: run in the DLT layout.
+
+    Under a tiling configuration the plan's generic tessellated path takes
+    over (DLT composes poorly with cache tiling — the paper's criticism —
+    and the reproduction mirrors the engine's historical behaviour here).
+    """
+    if plan.config.tiling is not None:
+        return plan.execute_generic(grid, steps)
+    return dlt_run(spec=plan.spec, grid=grid, steps=steps, vl=plan.isa_spec.vector_lanes)
+
+
+def _describe_dlt(plan) -> str:
+    if plan.config.tiling is not None:
+        return "tessellated tiles (tiling overrides the DLT layout executor)"
+    return "dimension-lifted transpose layout, boundary-column fixups each sweep"
+
+
+set_executor("dlt", _execute_dlt, describe_path=_describe_dlt)

@@ -22,11 +22,18 @@ from repro.baselines.common import (
 )
 from repro.perfmodel.flops import useful_flops_per_point
 from repro.perfmodel.profiles import MethodProfile
+from repro.registry import register_method
 from repro.simd.isa import InstructionClass, isa_for
 from repro.simd.machine import InstructionCounts
 from repro.stencils.spec import StencilSpec
 
 
+@register_method(
+    "multiple_loads",
+    label="Multiple Loads",
+    figure_order=0,
+    description="one unaligned vector load per stencil point (compiler fallback)",
+)
 def profile_multiple_loads(spec: StencilSpec, isa: str = "avx2") -> MethodProfile:
     """Build the per-point instruction profile of the multiple-loads method.
 

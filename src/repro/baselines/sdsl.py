@@ -21,10 +21,17 @@ from typing import Sequence
 from repro.baselines.dlt import profile_dlt
 from repro.machine import MachineSpec
 from repro.perfmodel.profiles import MethodProfile
+from repro.registry import register_method
 from repro.stencils.spec import StencilSpec
 from repro.tiling.splittiling import SplitTilingConfig, split_tiling_cache_reuse
 
 
+@register_method(
+    "sdsl",
+    label="SDSL",
+    profile_only=True,
+    description="DLT vectorization + split tiling (prior state of the art)",
+)
 def profile_sdsl(
     spec: StencilSpec,
     isa: str,

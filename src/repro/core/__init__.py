@@ -11,9 +11,12 @@
   Section 3.4,
 * :mod:`repro.core.vectorized_folding` — the vectorised multi-step schedules
   (Figure 5) on both the simulated SIMD machine and a fast NumPy path,
+* :mod:`repro.core.plan` — the compile-once/run-many public API:
+  :func:`~repro.core.plan.plan` (fluent builder) and
+  :class:`~repro.core.plan.CompiledPlan` tying methods, tiling, batching and
+  the performance model together,
 * :mod:`repro.core.engine` — :class:`~repro.core.engine.StencilEngine`, the
-  public entry point tying methods, tiling and the performance model
-  together.
+  deprecated back-compat wrapper over the plan API.
 """
 
 from repro.core.folding import (
@@ -32,9 +35,14 @@ from repro.core.counterparts import (
 )
 from repro.core.regression import CounterpartPlan, CounterpartStep, plan_counterparts
 from repro.core.shifts_reuse import ShiftsReuseReport, shifts_reuse_report
+from repro.core.plan import CompiledPlan, PlanBuilder, PlanConfig, plan
 from repro.core.engine import StencilEngine, EngineConfig
 
 __all__ = [
+    "CompiledPlan",
+    "PlanBuilder",
+    "PlanConfig",
+    "plan",
     "folding_matrix",
     "collect_naive",
     "collect_folded",

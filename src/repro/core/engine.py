@@ -1,45 +1,43 @@
-"""The public execution engine.
+"""Deprecated engine facade over the compile-once/run-many plan API.
 
-:class:`StencilEngine` is the API a downstream user of this library touches:
-pick a stencil, a vectorization method, an ISA and optionally a tiling
-configuration, then
+:class:`StencilEngine` was the library's original public entry point.  It
+remains as a thin back-compat wrapper over
+:class:`repro.core.plan.CompiledPlan`: construction compiles a plan through
+the fluent builder, and every method delegates to it.  New code should use
+the plan API directly::
 
-* :meth:`StencilEngine.run` — advance a grid numerically (fast NumPy paths;
-  always bit-comparable to the reference executor up to FP reassociation),
-* :meth:`StencilEngine.run_simulated` — execute the register-level schedule
-  on the simulated SIMD machine (small grids) and get the instruction tally
-  alongside the numerical result,
-* :meth:`StencilEngine.profile` — the steady-state per-point instruction
-  profile,
-* :meth:`StencilEngine.estimate` — modelled performance on the paper's
-  machine for a given problem size, time-step count and core count,
-* :meth:`StencilEngine.folding_report` — the Section 3.2 profitability
-  analysis for the engine's stencil and unrolling factor.
+    import repro
+
+    p = repro.plan(spec).method("folded").isa("avx2").unroll(2).compile()
+    result = p.run(grid, steps=4)
+    results = p.run_batch(grids, steps=4)   # thread-pool fan-out
+    print(p.explain())
+
+Migration map: ``StencilEngine(spec, method=..., isa=..., unroll=...,
+tiling=..., shifts_reuse=...)`` →
+``plan(spec).method(...).isa(...).unroll(...).tile(...).shifts_reuse(...).compile()``;
+``run_simulated`` → ``simulate``; everything else keeps its name.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.dlt import dlt_run
-from repro.core.folding import ProfitabilityReport, analyze_folding
-from repro.core.vectorized_folding import FoldingSchedule
-from repro.layout.transpose_layout import from_transpose_layout, to_transpose_layout
-from repro.machine import MachineSpec, machine_for_isa
-from repro.methods import METHOD_KEYS, build_profile
-from repro.parallel.model import MulticoreConfig, multicore_estimate
+from repro.core.folding import ProfitabilityReport
+from repro.core.plan import CompiledPlan, plan
+from repro.machine import MachineSpec
+from repro.methods import METHOD_KEYS
+from repro.parallel.model import MulticoreConfig
 from repro.perfmodel.costmodel import PerformanceEstimate
 from repro.perfmodel.profiles import MethodProfile
-from repro.simd.isa import isa_for
 from repro.simd.machine import InstructionCounts, SimdMachine
-from repro.stencils.boundary import BoundaryCondition
 from repro.stencils.grid import Grid
-from repro.stencils.reference import reference_run, reference_step
 from repro.stencils.spec import StencilSpec
-from repro.tiling.tessellate import TessellationConfig, tessellate_run
+from repro.tiling.tessellate import TessellationConfig
 
 #: Methods accepted by the engine (the registry methods plus the plain
 #: reference executor).
@@ -48,7 +46,8 @@ ENGINE_METHODS = ("reference",) + METHOD_KEYS
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Configuration of a :class:`StencilEngine`.
+    """Configuration of a :class:`StencilEngine` (mirrors
+    :class:`repro.core.plan.PlanConfig` for back-compat).
 
     Attributes
     ----------
@@ -74,7 +73,12 @@ class EngineConfig:
 
 
 class StencilEngine:
-    """Execute and analyse one stencil with one optimization method."""
+    """Execute and analyse one stencil with one optimization method.
+
+    .. deprecated:: 1.1
+       Thin wrapper kept for backward compatibility; use
+       :func:`repro.plan` and :class:`repro.core.plan.CompiledPlan`.
+    """
 
     def __init__(
         self,
@@ -85,19 +89,41 @@ class StencilEngine:
         tiling: Optional[TessellationConfig] = None,
         shifts_reuse: bool = True,
     ):
-        method = method.strip().lower()
-        if method not in ENGINE_METHODS:
+        warnings.warn(
+            "StencilEngine is deprecated; use repro.plan(spec)...compile() "
+            "(see repro.core.plan)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # The legacy engine only ever accepted the paper's line-up; plug-in
+        # registry methods are a plan-API feature.
+        if method.strip().lower() not in ENGINE_METHODS:
             raise KeyError(f"unknown method {method!r}; known: {ENGINE_METHODS}")
-        if unroll < 1:
-            raise ValueError("unroll must be >= 1")
+        builder = (
+            plan(spec)
+            .method(method)
+            .isa(isa)
+            .unroll(unroll)
+            .shifts_reuse(shifts_reuse)
+        )
+        if tiling is not None:
+            builder.tile(tiling)
+        self._plan = builder.compile()
         self.spec = spec
         self.config = EngineConfig(
-            method=method, isa=isa, unroll=unroll, tiling=tiling, shifts_reuse=shifts_reuse
+            method=self._plan.config.method,
+            isa=self._plan.config.isa,
+            unroll=self._plan.config.unroll,
+            tiling=tiling,
+            shifts_reuse=shifts_reuse,
         )
-        self._isa = isa_for(isa)
-        self._schedule: Optional[FoldingSchedule] = None
-        if method == "folded" and spec.linear:
-            self._schedule = FoldingSchedule(spec, unroll)
+        self._isa = self._plan.isa_spec
+        self._schedule = self._plan.schedule
+
+    @property
+    def plan(self) -> CompiledPlan:
+        """The compiled plan the engine wraps (the migration hand-hold)."""
+        return self._plan
 
     # ------------------------------------------------------------------ #
     # numerical execution
@@ -105,90 +131,9 @@ class StencilEngine:
     def run(self, grid: Grid, steps: int) -> np.ndarray:
         """Advance ``grid`` by ``steps`` time steps and return the final values.
 
-        Every method produces the same numerical answer as the reference
-        executor (that is asserted by the test suite); what changes between
-        methods is *how* the answer is computed:
-
-        * ``"dlt"`` computes in the DLT layout (including its boundary-column
-          fixups),
-        * ``"folded"`` advances ``m`` steps at a time through the
-          vertical/horizontal folding path with exact Dirichlet boundary-band
-          handling,
-        * methods combined with a tiling configuration execute through the
-          tessellation tile schedule,
-        * the remaining methods share the reference arithmetic (their
-          distinction is the instruction schedule, visible through
-          :meth:`run_simulated` and :meth:`profile`).
+        Delegates to :meth:`repro.core.plan.CompiledPlan.run`.
         """
-        if steps < 0:
-            raise ValueError("steps must be non-negative")
-        method = self.config.method
-        if steps == 0:
-            return grid.values.copy()
-
-        if method == "dlt" and self.config.tiling is None:
-            return dlt_run(self.spec, grid, steps, vl=self._isa.vector_lanes)
-
-        if method == "folded" and self.spec.linear:
-            return self._run_folded(grid, steps)
-
-        if self.config.tiling is not None:
-            return tessellate_run(self.spec, grid, steps, self.config.tiling)
-
-        return reference_run(self.spec, grid, steps)
-
-    def _run_folded(self, grid: Grid, steps: int) -> np.ndarray:
-        """Folded fast path with exact Dirichlet boundary handling."""
-        assert self._schedule is not None
-        m = self.config.unroll
-        values = grid.values.copy()
-        remaining = steps
-        while remaining >= m:
-            folded = self._schedule.numpy_step(values, grid.boundary)
-            if grid.boundary is BoundaryCondition.DIRICHLET:
-                folded = self._fix_dirichlet_band(values, folded, m)
-            values = folded
-            remaining -= m
-        for _ in range(remaining):
-            values = reference_step(self.spec, values, grid.boundary, aux=grid.aux)
-        return values
-
-    def _fix_dirichlet_band(
-        self, before: np.ndarray, folded: np.ndarray, m: int
-    ) -> np.ndarray:
-        """Recompute the boundary band step-by-step (ghost-zone handling).
-
-        A folded ``m``-step update is exact only for points at distance
-        ``>= (m-1)·r`` from a Dirichlet boundary; the band closer than that is
-        recomputed with ``m`` single steps on a strip wide enough that the
-        strip's interior edge cannot contaminate the kept band.
-        """
-        radius = self.spec.radius
-        band = (m - 1) * radius
-        if band <= 0:
-            return folded
-        out = folded
-        strip_width = band + m * radius
-        for axis in range(before.ndim):
-            n = before.shape[axis]
-            width = min(strip_width, n)
-            for side in (0, 1):
-                strip = [slice(None)] * before.ndim
-                keep_local = [slice(None)] * before.ndim
-                keep_global = [slice(None)] * before.ndim
-                if side == 0:
-                    strip[axis] = slice(0, width)
-                    keep_local[axis] = slice(0, min(band, width))
-                    keep_global[axis] = slice(0, min(band, n))
-                else:
-                    strip[axis] = slice(n - width, n)
-                    keep_local[axis] = slice(width - min(band, width), width)
-                    keep_global[axis] = slice(n - min(band, n), n)
-                sub = before[tuple(strip)].copy()
-                for _ in range(m):
-                    sub = reference_step(self.spec, sub, BoundaryCondition.DIRICHLET)
-                out[tuple(keep_global)] = sub[tuple(keep_local)]
-        return out
+        return self._plan.run(grid, steps)
 
     # ------------------------------------------------------------------ #
     # simulated execution
@@ -198,48 +143,17 @@ class StencilEngine:
     ) -> Tuple[np.ndarray, InstructionCounts]:
         """Execute the register-level schedule on the simulated SIMD machine.
 
-        Supported for the ``"transpose"`` and ``"folded"`` methods on 1-D
-        grids (stored in the transpose layout for the duration of the run,
-        exactly as Section 2.2 prescribes) and on 2-D grids (original layout,
-        Figure 5 square pipeline).  Grids must be periodic and sized in
-        multiples of ``vl²`` (1-D) or ``vl`` (2-D).  Returns the final values
-        together with the instruction tally of the whole run.
+        Delegates to :meth:`repro.core.plan.CompiledPlan.simulate`, which
+        reuses the folding schedule cached at compile time.
         """
-        if self.config.method not in ("transpose", "folded"):
-            raise ValueError("run_simulated supports the 'transpose' and 'folded' methods")
-        if not self.spec.linear:
-            raise ValueError("run_simulated requires a linear stencil")
-        if grid.boundary is not BoundaryCondition.PERIODIC:
-            raise ValueError("run_simulated requires periodic boundaries")
-        machine = machine or SimdMachine(self._isa)
-        m = self.config.unroll if self.config.method == "folded" else 1
-        if steps % m != 0:
-            raise ValueError(f"steps ({steps}) must be a multiple of the unroll factor {m}")
-        schedule = FoldingSchedule(self.spec, m)
-        vl = machine.vl
-        values = grid.values.copy()
-
-        if grid.dims == 1:
-            data = to_transpose_layout(values, vl)
-            for _ in range(steps // m):
-                data = schedule.simd_sweep_1d(machine, data)
-            return from_transpose_layout(data, vl), machine.counts
-        if grid.dims == 2:
-            for _ in range(steps // m):
-                values = schedule.simd_sweep_2d(machine, values)
-            return values, machine.counts
-        raise ValueError("run_simulated supports 1-D and 2-D grids")
+        return self._plan.simulate(grid, steps, machine=machine)
 
     # ------------------------------------------------------------------ #
     # analysis
     # ------------------------------------------------------------------ #
     def profile(self) -> MethodProfile:
         """Steady-state per-point instruction profile of the configured method."""
-        if self.config.method == "reference":
-            raise ValueError("the reference executor has no vectorized profile")
-        return build_profile(
-            self.config.method, self.spec, self.config.isa, self.config.unroll
-        )
+        return self._plan.profile()
 
     def estimate(
         self,
@@ -249,36 +163,11 @@ class StencilEngine:
         machine: Optional[MachineSpec] = None,
         multicore: MulticoreConfig = MulticoreConfig(),
     ) -> PerformanceEstimate:
-        """Modelled performance for a problem of ``problem_shape`` over ``time_steps``.
-
-        Parameters
-        ----------
-        problem_shape:
-            Spatial extents of the problem (paper scale or otherwise).
-        time_steps:
-            Total time steps.
-        cores:
-            Active cores (1 for the sequential experiments).
-        machine:
-            Machine description; defaults to the paper's Xeon Gold 6140 in
-            the engine's ISA configuration.
-        multicore:
-            Overhead parameters of the multicore model.
-        """
-        machine = machine or machine_for_isa(self.config.isa)
-        return multicore_estimate(
-            self.profile(),
-            grid_shape=problem_shape,
-            time_steps=time_steps,
-            machine=machine,
-            cores=cores,
-            radius=self.spec.radius,
-            tiling=self.config.tiling,
-            config=multicore,
+        """Modelled performance for a problem of ``problem_shape`` over ``time_steps``."""
+        return self._plan.estimate(
+            problem_shape, time_steps, cores=cores, machine=machine, multicore=multicore
         )
 
     def folding_report(self) -> ProfitabilityReport:
         """Profitability analysis (Section 3.2) for the engine's unroll factor."""
-        if not self.spec.linear:
-            raise ValueError("folding profitability is defined for linear stencils only")
-        return analyze_folding(self.spec, max(2, self.config.unroll))
+        return self._plan.folding_report()

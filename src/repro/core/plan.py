@@ -1,0 +1,618 @@
+"""Compile-once/run-many execution plans.
+
+This module is the public API of the library.  A plan separates *what* a
+stencil computes (the :class:`~repro.stencils.spec.StencilSpec`) from *how*
+it is scheduled (method, ISA, unrolling, tiling, workers) — the paper's
+central design point — and splits configuration from execution:
+
+1. **Configure** with the fluent builder returned by :func:`plan`::
+
+       p = (repro.plan("2d9p")
+                .method("folded")
+                .isa("avx512")
+                .unroll(2)
+                .tile(block_sizes=(32, 32), time_range=8)
+                .parallel(workers=4)
+                .compile())
+
+2. **Compile once.**  :meth:`PlanBuilder.compile` validates the whole
+   configuration, resolves the method through the pluggable registry
+   (:mod:`repro.registry`) and — for methods that need one — constructs the
+   :class:`~repro.core.vectorized_folding.FoldingSchedule` exactly once.
+
+3. **Run many.**  The immutable :class:`CompiledPlan` exposes
+   :meth:`~CompiledPlan.run`, :meth:`~CompiledPlan.run_batch` (thread-pool
+   fan-out over many grids, bit-identical to sequential runs),
+   :meth:`~CompiledPlan.simulate`, :meth:`~CompiledPlan.profile`,
+   :meth:`~CompiledPlan.estimate`, :meth:`~CompiledPlan.folding_report` and
+   :meth:`~CompiledPlan.explain`.
+
+The legacy :class:`~repro.core.engine.StencilEngine` is a deprecated thin
+wrapper over this API.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.folding import ProfitabilityReport, analyze_folding
+from repro.core.vectorized_folding import FoldingSchedule
+from repro.layout.transpose_layout import from_transpose_layout, to_transpose_layout
+from repro.machine import MachineSpec, machine_for_isa
+import repro.methods  # noqa: F401  (imports register the built-in methods)
+from repro.parallel.executor import run_plan_batch, tessellate_run_parallel
+from repro.parallel.model import MulticoreConfig, multicore_estimate
+from repro.perfmodel.costmodel import PerformanceEstimate
+from repro.perfmodel.profiles import MethodProfile
+from repro.registry import MethodDescriptor, get_method, set_executor
+from repro.simd.isa import IsaSpec, isa_for
+from repro.simd.machine import InstructionCounts, SimdMachine
+from repro.stencils.boundary import BoundaryCondition
+from repro.stencils.grid import Grid
+from repro.stencils.library import BenchmarkCase, get_benchmark
+from repro.stencils.reference import reference_run, reference_step
+from repro.stencils.spec import StencilSpec
+from repro.tiling.tessellate import TessellationConfig, tessellate_run
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """Scheduling decisions of one compiled plan.
+
+    Attributes
+    ----------
+    method:
+        Registry key of the execution method.
+    isa:
+        ``"avx2"`` or ``"avx512"``.
+    unroll:
+        Temporal folding factor ``m`` (consumed by methods with
+        ``uses_unroll``).
+    tiling:
+        Optional tessellate-tiling configuration.
+    shifts_reuse:
+        Whether the shifts-reuse optimisation (Section 3.4) is assumed by the
+        instruction profile; the ablation benchmarks switch it off.
+    workers:
+        Thread-pool width used for tessellated tile execution and as the
+        fan-out of :meth:`CompiledPlan.run_batch`.  ``None`` (the default)
+        means "unconfigured": tiled execution stays sequential and
+        ``run_batch`` picks its own default pool; an explicit ``workers=1``
+        forces sequential execution everywhere.
+    """
+
+    method: str = "folded"
+    isa: str = "avx2"
+    unroll: int = 2
+    tiling: Optional[TessellationConfig] = None
+    shifts_reuse: bool = True
+    workers: Optional[int] = None
+
+
+class PlanBuilder:
+    """Fluent configurator for a :class:`CompiledPlan`.
+
+    Every setter returns the builder, so configurations read as one chain;
+    nothing is validated until :meth:`compile` (the single validation point).
+    """
+
+    def __init__(self, spec: Union[StencilSpec, BenchmarkCase, str]):
+        if isinstance(spec, str):
+            spec = get_benchmark(spec).spec
+        elif isinstance(spec, BenchmarkCase):
+            spec = spec.spec
+        if not isinstance(spec, StencilSpec):
+            raise TypeError(
+                "plan() expects a StencilSpec, a BenchmarkCase or a benchmark key"
+            )
+        self._spec = spec
+        self._method = "folded"
+        self._isa = "avx2"
+        self._unroll = 2
+        self._tiling: Optional[TessellationConfig] = None
+        self._shifts_reuse = True
+        self._workers: Optional[int] = None
+
+    def method(self, key: str) -> "PlanBuilder":
+        """Select the execution method by registry key."""
+        self._method = key.strip().lower()
+        return self
+
+    def isa(self, name: str) -> "PlanBuilder":
+        """Select the instruction set (``"avx2"`` or ``"avx512"``)."""
+        self._isa = name.strip().lower()
+        return self
+
+    def unroll(self, m: int) -> "PlanBuilder":
+        """Set the temporal folding factor ``m``."""
+        self._unroll = int(m)
+        return self
+
+    def tile(
+        self,
+        block_sizes: Union[TessellationConfig, Sequence[Optional[int]], None] = None,
+        time_range: Optional[int] = None,
+    ) -> "PlanBuilder":
+        """Attach a tessellate tiling (a config object, or block sizes + TR).
+
+        ``tile(None)`` removes a previously configured tiling.
+        """
+        if block_sizes is None and time_range is None:
+            self._tiling = None
+        elif isinstance(block_sizes, TessellationConfig):
+            if time_range is not None:
+                raise ValueError("pass either a TessellationConfig or block sizes + time_range")
+            self._tiling = block_sizes
+        else:
+            if block_sizes is None or time_range is None:
+                raise ValueError("tile() needs both block sizes and a time range")
+            self._tiling = TessellationConfig(
+                block_sizes=tuple(block_sizes), time_range=int(time_range)
+            )
+        return self
+
+    def parallel(self, workers: int = 8) -> "PlanBuilder":
+        """Set the thread-pool width for tiled execution and batch fan-out.
+
+        ``workers=1`` is an explicit request for sequential execution (it
+        also pins :meth:`CompiledPlan.run_batch` to a sequential loop);
+        leaving ``parallel`` uncalled lets ``run_batch`` pick its own
+        default pool while tiled execution stays sequential.
+        """
+        self._workers = int(workers)
+        return self
+
+    def shifts_reuse(self, enabled: bool = True) -> "PlanBuilder":
+        """Toggle the shifts-reuse assumption of the instruction profile."""
+        self._shifts_reuse = bool(enabled)
+        return self
+
+    def compile(self) -> "CompiledPlan":
+        """Validate the configuration and build the immutable plan.
+
+        Raises ``KeyError`` for unknown methods/ISAs and ``ValueError`` for
+        invalid numeric settings or method/stencil mismatches.
+        """
+        descriptor = get_method(self._method)
+        if descriptor.virtual:
+            raise KeyError(
+                f"method {self._method!r} is a figure label, not an executable method"
+            )
+        if descriptor.profile_only:
+            raise KeyError(
+                f"method {self._method!r} is profile-only (a performance model "
+                "without a numeric executor); it cannot be compiled into a plan"
+            )
+        if self._unroll < 1:
+            raise ValueError("unroll must be >= 1")
+        if self._workers is not None and self._workers < 1:
+            raise ValueError("workers must be >= 1")
+        isa_spec = isa_for(self._isa)
+        if descriptor.requires_linear and not self._spec.linear:
+            raise ValueError(
+                f"method {descriptor.key!r} requires a linear stencil; "
+                f"{self._spec.name!r} is non-linear"
+            )
+        config = PlanConfig(
+            method=descriptor.key,
+            isa=self._isa,
+            unroll=self._unroll,
+            tiling=self._tiling,
+            shifts_reuse=self._shifts_reuse,
+            workers=self._workers,
+        )
+        return CompiledPlan(self._spec, config, descriptor, isa_spec)
+
+
+def plan(spec: Union[StencilSpec, BenchmarkCase, str]) -> PlanBuilder:
+    """Start configuring an execution plan for ``spec``.
+
+    ``spec`` may be a :class:`StencilSpec`, a :class:`BenchmarkCase` or a
+    benchmark key such as ``"2d9p"``.
+    """
+    return PlanBuilder(spec)
+
+
+class CompiledPlan:
+    """An immutable, validated execution plan — compile once, run many.
+
+    Instances are produced by :meth:`PlanBuilder.compile`; all configuration
+    is frozen at compile time, including the method descriptor resolved from
+    the registry and (for folding methods) the
+    :class:`~repro.core.vectorized_folding.FoldingSchedule`, which is
+    constructed exactly once and reused by every :meth:`run`,
+    :meth:`run_batch` and :meth:`simulate` call.
+    """
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        config: PlanConfig,
+        descriptor: MethodDescriptor,
+        isa_spec: IsaSpec,
+    ):
+        self.spec = spec
+        self.config = config
+        self.descriptor = descriptor
+        self.isa_spec = isa_spec
+        # The schedule is the expensive part of compilation (kernel
+        # composition + counterpart planning); building it here — never in
+        # run() — is what makes the plan amortisable across many grids and
+        # safe to share between batch threads.  Methods that only need a
+        # schedule for simulated execution (transpose) defer it to the first
+        # simulate() call instead of taxing every compile.
+        schedule: Optional[FoldingSchedule] = None
+        if spec.linear and descriptor.uses_schedule:
+            schedule = FoldingSchedule(spec, self.steps_per_update)
+        self.schedule = schedule
+        self._lazy_schedule: Optional[FoldingSchedule] = None
+        self._lazy_schedule_lock = threading.Lock()
+        self._frozen = True
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if getattr(self, "_frozen", False):
+            raise AttributeError(
+                "CompiledPlan is immutable; build a new plan with repro.plan(...)"
+            )
+        super().__setattr__(name, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPlan(stencil={self.spec.name!r}, method={self.config.method!r}, "
+            f"isa={self.config.isa!r}, unroll={self.config.unroll}, "
+            f"tiled={self.config.tiling is not None}, workers={self.config.workers!r})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # derived configuration
+    # ------------------------------------------------------------------ #
+    @property
+    def method_key(self) -> str:
+        """Registry key of the plan's method."""
+        return self.config.method
+
+    @property
+    def label(self) -> str:
+        """Display label of the plan's method."""
+        return self.descriptor.label
+
+    @property
+    def steps_per_update(self) -> int:
+        """Time steps advanced per folded update (1 for single-step methods)."""
+        return self.config.unroll if self.descriptor.uses_unroll else 1
+
+    # ------------------------------------------------------------------ #
+    # numerical execution
+    # ------------------------------------------------------------------ #
+    def run(self, grid: Grid, steps: int) -> np.ndarray:
+        """Advance ``grid`` by ``steps`` time steps and return the final values.
+
+        Every method produces the same numerical answer as the reference
+        executor (asserted by the test suite); what changes between methods
+        is *how* it is computed — the DLT layout, the folded multi-step path,
+        tessellated tiles, or plain reference arithmetic.  ``run`` is pure
+        (the grid is not mutated), which is what makes :meth:`run_batch`
+        deterministic under thread fan-out.
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        if steps == 0:
+            return grid.values.copy()
+        if self.descriptor.executor is not None:
+            return self.descriptor.executor(self, grid, steps)
+        return self.execute_generic(grid, steps)
+
+    def execute_generic(self, grid: Grid, steps: int) -> np.ndarray:
+        """Shared fallback path: tessellated tiles if tiled, else reference.
+
+        Method executors call back into this when their fast path does not
+        apply (e.g. the DLT executor under tiling, the folded executor on a
+        non-linear stencil).
+        """
+        if self.config.tiling is not None:
+            workers = self.config.workers
+            if workers is not None and workers > 1:
+                return tessellate_run_parallel(
+                    self.spec, grid, steps, self.config.tiling, workers=workers
+                )
+            return tessellate_run(self.spec, grid, steps, self.config.tiling)
+        return reference_run(self.spec, grid, steps)
+
+    def run_batch(
+        self,
+        grids: Sequence[Grid],
+        steps: int,
+        workers: Optional[int] = None,
+    ) -> List[np.ndarray]:
+        """Run the plan over many grids concurrently; results keep input order.
+
+        The fan-out happens on a thread pool
+        (:func:`repro.parallel.executor.run_plan_batch`); because :meth:`run`
+        is pure and the schedule is frozen at compile time, the batch result
+        is bit-identical to ``[self.run(g, steps) for g in grids]`` for any
+        worker count.
+        """
+        return run_plan_batch(self, grids, steps, workers=workers)
+
+    # ------------------------------------------------------------------ #
+    # simulated execution
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self, grid: Grid, steps: int, machine: Optional[SimdMachine] = None
+    ) -> Tuple[np.ndarray, InstructionCounts]:
+        """Execute the register-level schedule on the simulated SIMD machine.
+
+        Supported for methods with the ``supports_simulation`` capability on
+        1-D grids (held in the transpose layout for the duration of the run,
+        as Section 2.2 prescribes) and 2-D grids (original layout, Figure 5
+        square pipeline).  Grids must be periodic and sized in multiples of
+        ``vl²`` (1-D) or ``vl`` (2-D).  Returns the final values together
+        with the instruction tally of the whole run.
+        """
+        if not self.descriptor.supports_simulation:
+            raise ValueError(
+                f"method {self.config.method!r} does not support simulated execution"
+            )
+        if not self.spec.linear:
+            raise ValueError("simulated execution requires a linear stencil")
+        if grid.boundary is not BoundaryCondition.PERIODIC:
+            raise ValueError("simulated execution requires periodic boundaries")
+        machine = machine or SimdMachine(self.isa_spec)
+        m = self.steps_per_update
+        if steps % m != 0:
+            raise ValueError(f"steps ({steps}) must be a multiple of the unroll factor {m}")
+        schedule = self._simulation_schedule()
+        vl = machine.vl
+        values = grid.values.copy()
+
+        if grid.dims == 1:
+            data = to_transpose_layout(values, vl)
+            for _ in range(steps // m):
+                data = schedule.simd_sweep_1d(machine, data)
+            return from_transpose_layout(data, vl), machine.counts
+        if grid.dims == 2:
+            for _ in range(steps // m):
+                values = schedule.simd_sweep_2d(machine, values)
+            return values, machine.counts
+        raise ValueError("simulated execution supports 1-D and 2-D grids")
+
+    def _simulation_schedule(self) -> FoldingSchedule:
+        """The folding schedule backing simulated execution.
+
+        Folding methods share the schedule built at compile time; methods
+        that only simulate (transpose, m = 1) build theirs lazily on first
+        use — once per plan, behind a lock so batch threads cannot race.
+        """
+        if self.schedule is not None:
+            return self.schedule
+        if self._lazy_schedule is None:
+            with self._lazy_schedule_lock:
+                if self._lazy_schedule is None:
+                    object.__setattr__(
+                        self,
+                        "_lazy_schedule",
+                        FoldingSchedule(self.spec, self.steps_per_update),
+                    )
+        assert self._lazy_schedule is not None
+        return self._lazy_schedule
+
+    # ------------------------------------------------------------------ #
+    # analysis
+    # ------------------------------------------------------------------ #
+    def profile(self) -> MethodProfile:
+        """Steady-state per-point instruction profile of the compiled method."""
+        kwargs = dict(
+            isa=self.config.isa,
+            m=self.config.unroll,
+            shifts_reuse=self.config.shifts_reuse,
+        )
+        if self.descriptor.uses_schedule and self.schedule is not None:
+            # Hand the compile-time schedule to the builder so profiling does
+            # not repeat the counterpart planning (the registry drops the
+            # kwarg for builders that do not declare it).
+            kwargs["schedule"] = self.schedule
+        return self.descriptor.profile(self.spec, **kwargs)
+
+    def estimate(
+        self,
+        problem_shape: Sequence[int],
+        time_steps: int,
+        cores: int = 1,
+        machine: Optional[MachineSpec] = None,
+        multicore: MulticoreConfig = MulticoreConfig(),
+    ) -> PerformanceEstimate:
+        """Modelled performance for ``problem_shape`` over ``time_steps``.
+
+        Parameters
+        ----------
+        problem_shape:
+            Spatial extents of the problem (paper scale or otherwise).
+        time_steps:
+            Total time steps.
+        cores:
+            Active cores (1 for the sequential experiments).
+        machine:
+            Machine description; defaults to the paper's Xeon Gold 6140 in
+            the plan's ISA configuration.
+        multicore:
+            Overhead parameters of the multicore model.
+        """
+        machine = machine or machine_for_isa(self.config.isa)
+        return multicore_estimate(
+            self.profile(),
+            grid_shape=problem_shape,
+            time_steps=time_steps,
+            machine=machine,
+            cores=cores,
+            radius=self.spec.radius,
+            tiling=self.config.tiling,
+            config=multicore,
+        )
+
+    def folding_report(self) -> ProfitabilityReport:
+        """Profitability analysis (Section 3.2) for the plan's unroll factor."""
+        if not self.spec.linear:
+            raise ValueError("folding profitability is defined for linear stencils only")
+        return analyze_folding(self.spec, max(2, self.config.unroll))
+
+    def explain(self) -> str:
+        """Human-readable dump of the chosen execution path and analysis."""
+        spec, config = self.spec, self.config
+        lines = [
+            f"CompiledPlan for {spec.name!r} "
+            f"({spec.npoints}-point {spec.shape_class.value}, {spec.dims}-D, "
+            f"{'linear' if spec.linear else 'non-linear'})",
+            f"  method         : {config.method} — {self.label}"
+            + (f" ({self.descriptor.description})" if self.descriptor.description else ""),
+            f"  isa            : {config.isa} (vl={self.isa_spec.vector_lanes} doubles)",
+            f"  unroll (m)     : {config.unroll}"
+            + ("" if self.descriptor.uses_unroll else " (unused by this method)"),
+            f"  shifts reuse   : {'on' if config.shifts_reuse else 'off'}",
+        ]
+        if config.tiling is not None:
+            lines.append(
+                f"  tiling         : tessellation blocks={config.tiling.block_sizes} "
+                f"time_range={config.tiling.time_range}"
+            )
+        else:
+            lines.append("  tiling         : none")
+        workers = "1 (unconfigured)" if config.workers is None else str(config.workers)
+        lines.append(f"  workers        : {workers}")
+        lines.append(f"  execution path : {self._path_description()}")
+        if self.schedule is not None:
+            variant = (
+                "separable fast path"
+                if self.schedule.separable_fast_path
+                else "counterpart reuse"
+            )
+            lines.append(
+                f"  schedule       : folded radius {self.schedule.radius}, "
+                f"{self.schedule.num_materialized} materialized counterpart(s), {variant}"
+            )
+        try:
+            profile = self.profile()
+        except (TypeError, ValueError):
+            # No vectorization model, or a plug-in profile builder needing
+            # extra arguments explain() cannot supply.
+            lines.append("  profile        : none (no vectorization model)")
+        else:
+            lines.append(
+                f"  profile        : {profile.data_organization_per_point:.3f} data-org + "
+                f"{profile.arithmetic_per_point:.3f} arithmetic vector instr/point, "
+                f"{profile.sweeps_per_step:g} sweep(s)/step"
+            )
+        if spec.linear:
+            report = self.folding_report()
+            lines.append(
+                f"  profitability  : |C(E)|={report.collect_naive} → "
+                f"|C(E_Λ)|={report.collect_optimized} (optimised), "
+                f"P={report.profitability_optimized:.1f}"
+            )
+        return "\n".join(lines)
+
+    def _path_description(self) -> str:
+        if self.descriptor.describe_path is not None:
+            return self.descriptor.describe_path(self)
+        return describe_generic_path(self)
+
+
+# --------------------------------------------------------------------------- #
+# generic + folded numeric paths (registered with the registry below)
+# --------------------------------------------------------------------------- #
+def describe_generic_path(plan_: CompiledPlan) -> str:
+    """Description of :meth:`CompiledPlan.execute_generic` for ``explain()``."""
+    if plan_.config.tiling is not None:
+        workers = plan_.config.workers
+        if workers is not None and workers > 1:
+            return (
+                f"tessellated tiles on a {workers}-worker thread pool "
+                "(stage barriers, disjoint tiles)"
+            )
+        return "tessellated tiles, sequential stage-by-stage execution"
+    return "reference arithmetic, one sweep per time step"
+
+
+def _execute_folded(plan_: CompiledPlan, grid: Grid, steps: int) -> np.ndarray:
+    """Folded fast path with exact Dirichlet boundary handling."""
+    if plan_.schedule is None:
+        # Non-linear stencils cannot fold their arithmetic; the method
+        # degenerates to the generic path (profile-wise it still models the
+        # in-register m-step update, see repro.methods.profile_folded).
+        return plan_.execute_generic(grid, steps)
+    m = plan_.config.unroll
+    schedule = plan_.schedule
+    values = grid.values.copy()
+    remaining = steps
+    while remaining >= m:
+        folded = schedule.numpy_step(values, grid.boundary)
+        if grid.boundary is BoundaryCondition.DIRICHLET:
+            folded = _fix_dirichlet_band(plan_.spec, values, folded, m)
+        values = folded
+        remaining -= m
+    for _ in range(remaining):
+        values = reference_step(plan_.spec, values, grid.boundary, aux=grid.aux)
+    return values
+
+
+def _fix_dirichlet_band(
+    spec: StencilSpec, before: np.ndarray, folded: np.ndarray, m: int
+) -> np.ndarray:
+    """Recompute the boundary band step-by-step (ghost-zone handling).
+
+    A folded ``m``-step update is exact only for points at distance
+    ``>= (m-1)·r`` from a Dirichlet boundary; the band closer than that is
+    recomputed with ``m`` single steps on a strip wide enough that the
+    strip's interior edge cannot contaminate the kept band.
+    """
+    radius = spec.radius
+    band = (m - 1) * radius
+    if band <= 0:
+        return folded
+    out = folded
+    strip_width = band + m * radius
+    for axis in range(before.ndim):
+        n = before.shape[axis]
+        width = min(strip_width, n)
+        for side in (0, 1):
+            strip = [slice(None)] * before.ndim
+            keep_local = [slice(None)] * before.ndim
+            keep_global = [slice(None)] * before.ndim
+            if side == 0:
+                strip[axis] = slice(0, width)
+                keep_local[axis] = slice(0, min(band, width))
+                keep_global[axis] = slice(0, min(band, n))
+            else:
+                strip[axis] = slice(n - width, n)
+                keep_local[axis] = slice(width - min(band, width), width)
+                keep_global[axis] = slice(n - min(band, n), n)
+            sub = before[tuple(strip)].copy()
+            for _ in range(m):
+                sub = reference_step(spec, sub, BoundaryCondition.DIRICHLET)
+            out[tuple(keep_global)] = sub[tuple(keep_local)]
+    return out
+
+
+def _describe_folded(plan_: CompiledPlan) -> str:
+    if plan_.schedule is None:
+        return (
+            f"non-linear stencil: in-register {plan_.config.unroll}-step update via "
+            + describe_generic_path(plan_)
+        )
+    variant = (
+        "separable fast path"
+        if plan_.schedule.separable_fast_path
+        else "counterpart reuse"
+    )
+    return (
+        f"{plan_.config.unroll}-step temporal folding ({variant}), "
+        "exact Dirichlet band recompute"
+    )
+
+
+# The folded profile builder is registered in repro.methods; its numeric
+# executor lives here because it needs the folding machinery above.
+set_executor("folded", _execute_folded, describe_path=_describe_folded)

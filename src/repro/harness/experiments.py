@@ -20,7 +20,8 @@ from repro.baselines.sdsl import profile_sdsl
 from repro.cache.analytic import problem_size_for_level
 from repro.core.folding import analyze_folding
 from repro.machine import MachineSpec, machine_for_isa
-from repro.methods import METHOD_KEYS, METHOD_LABELS, build_profile
+from repro.methods import build_profile
+from repro.registry import label_for, method_keys
 from repro.parallel.model import multicore_estimate, scalability_curve
 from repro.perfmodel.costmodel import estimate_performance
 from repro.perfmodel.profiles import MethodProfile
@@ -31,8 +32,9 @@ from repro.tiling.tessellate import TessellationConfig
 #: Storage levels of Figure 8, in the order the paper plots them.
 STORAGE_LEVELS = ("L1", "L2", "L3", "Memory")
 
-#: Methods of the sequential block-free comparison (Figure 8 / Table 2).
-SEQUENTIAL_METHODS = ("multiple_loads", "data_reorg", "dlt", "transpose", "folded")
+#: Methods of the sequential block-free comparison (Figure 8 / Table 2) —
+#: the registry's figure line-up, in the order the paper plots it.
+SEQUENTIAL_METHODS = method_keys()
 
 #: Core counts swept by the scalability experiment (Figure 10).
 SCALABILITY_CORES = (1, 2, 4, 8, 12, 18, 24, 30, 36)
@@ -163,7 +165,7 @@ def figure8(
                         "time_steps": time_steps,
                         "level": level,
                         "method": method,
-                        "label": METHOD_LABELS[method],
+                        "label": label_for(method),
                         "npoints": npoints,
                         "gflops": est.gflops,
                         "bound": est.bound,
@@ -245,7 +247,7 @@ def figure9(cores: int = 36) -> ExperimentResult:
                     "benchmark": case.display_name,
                     "key": key,
                     "method": method,
-                    "label": METHOD_LABELS[method],
+                    "label": label_for(method),
                     "isa": "avx2",
                     "gflops": est.gflops,
                 }
@@ -302,7 +304,7 @@ def figure10(
         tiling = _tiling_from_case(case, radius)
         lineup = _multicore_methods(case, "avx2", machine_avx2)
         series: List[Tuple[str, str, MethodProfile, Optional[TessellationConfig], MachineSpec]] = [
-            (method, METHOD_LABELS[method], profile, t, machine_avx2)
+            (method, label_for(method), profile, t, machine_avx2)
             for method, profile, t in lineup
         ]
         series.append(
@@ -352,7 +354,7 @@ def table3(cores: int = 36, benchmarks: Optional[Sequence[str]] = None) -> Exper
     keys = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
     methods = ["sdsl", "tessellation", "transpose", "folded", "folded_avx512"]
     for method in methods:
-        entry: Dict[str, object] = {"method": METHOD_LABELS.get(method, method)}
+        entry: Dict[str, object] = {"method": label_for(method, default=method)}
         for key in keys:
             case = get_benchmark(key)
             rows = scal.filter(key=key, method=method)

@@ -1,4 +1,4 @@
-"""Method registry: every vectorization method's performance profile.
+"""The paper's vectorization methods, registered with the method registry.
 
 The experiments compare five vectorization methods (plus tiling framework
 combinations built on top of them):
@@ -13,20 +13,24 @@ key                description
 ``folded``         transpose layout + m-step temporal computation folding
 =================  ==========================================================
 
-:func:`build_profile` returns the steady-state
-:class:`~repro.perfmodel.profiles.MethodProfile` for any of them;
-:data:`METHOD_LABELS` maps the keys to the names used in the paper's figures.
-The harness composes these profiles with tiling reuse factors for the
-multicore experiments.
+Each method is described by a :class:`~repro.registry.MethodDescriptor` in
+the pluggable registry (:mod:`repro.registry`); the baselines register
+themselves in their own modules, and this module registers the paper's
+``transpose`` and ``folded`` methods.  :func:`build_profile` dispatches
+through the registry — there is no string ``if/elif`` — and
+:data:`METHOD_KEYS` / :data:`METHOD_LABELS` are derived from it in the order
+the paper's figures list the methods.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-from repro.baselines.data_reorg import profile_data_reorg
-from repro.baselines.dlt import profile_dlt
-from repro.baselines.multiple_loads import profile_multiple_loads
+# Importing the baseline modules registers their method descriptors.
+from repro.baselines.data_reorg import profile_data_reorg  # noqa: F401
+from repro.baselines.dlt import profile_dlt  # noqa: F401
+from repro.baselines.multiple_loads import profile_multiple_loads  # noqa: F401
+from repro.baselines.sdsl import profile_sdsl  # noqa: F401
 from repro.baselines.common import (
     kernel_rows,
     post_rule_counts,
@@ -35,25 +39,26 @@ from repro.baselines.common import (
 )
 from repro.perfmodel.flops import useful_flops_per_point
 from repro.perfmodel.profiles import MethodProfile
+from repro.registry import (
+    MethodDescriptor,
+    get_method,
+    method_labels,
+    method_keys as _registry_method_keys,
+    register,
+    register_method,
+)
 from repro.simd.isa import InstructionClass, isa_for
 from repro.simd.machine import InstructionCounts
 from repro.stencils.spec import StencilSpec
 
-#: Method keys in the order the paper's figures list them.
-METHOD_KEYS = ("multiple_loads", "data_reorg", "dlt", "transpose", "folded")
 
-#: Display names matching the paper's figures and tables.
-METHOD_LABELS: Dict[str, str] = {
-    "multiple_loads": "Multiple Loads",
-    "data_reorg": "Data Reorganization",
-    "dlt": "DLT",
-    "transpose": "Our",
-    "folded": "Our (2 steps)",
-    "sdsl": "SDSL",
-    "tessellation": "Tessellation",
-}
-
-
+@register_method(
+    "transpose",
+    label="Our",
+    figure_order=3,
+    supports_simulation=True,
+    description="transpose layout, single-step vector-set updates",
+)
 def profile_transpose(spec: StencilSpec, isa: str = "avx2") -> MethodProfile:
     """Profile of the paper's transpose-layout vectorization (no folding).
 
@@ -90,8 +95,21 @@ def profile_transpose(spec: StencilSpec, isa: str = "avx2") -> MethodProfile:
     )
 
 
+@register_method(
+    "folded",
+    label="Our (2 steps)",
+    figure_order=4,
+    supports_simulation=True,
+    uses_unroll=True,
+    uses_schedule=True,
+    description="transpose layout + m-step temporal computation folding",
+)
 def profile_folded(
-    spec: StencilSpec, isa: str = "avx2", m: int = 2, shifts_reuse: bool = True
+    spec: StencilSpec,
+    isa: str = "avx2",
+    m: int = 2,
+    shifts_reuse: bool = True,
+    schedule: object = None,
 ) -> MethodProfile:
     """Profile of the transpose layout + ``m``-step temporal computation folding.
 
@@ -101,18 +119,28 @@ def profile_folded(
     ``m`` consecutive updates in registers — memory traffic and loads/stores
     drop by ``m`` while the arithmetic per logical step stays unchanged,
     which is exactly how such kernels behave in practice.
+
+    ``schedule`` may carry an already-built
+    :class:`~repro.core.vectorized_folding.FoldingSchedule` for this
+    ``(spec, m)`` pair — compiled plans pass their cached one so profiling
+    does not repeat the counterpart planning.
     """
     if m < 1:
         raise ValueError("m must be >= 1")
     # Imported lazily to avoid a circular import through the repro.core
-    # package (whose __init__ pulls in the engine, which uses this registry).
+    # package (whose __init__ pulls in the plan machinery, which uses this
+    # registry).
     from repro.core.folding import arithmetically_profitable
     from repro.core.vectorized_folding import FoldingSchedule
 
     isa_spec = isa_for(isa)
     vl = isa_spec.vector_lanes
+    if schedule is not None and not (
+        isinstance(schedule, FoldingSchedule) and schedule.m == m
+    ):
+        schedule = None
     if spec.linear and arithmetically_profitable(spec, m):
-        schedule = FoldingSchedule(spec, m)
+        schedule = schedule if schedule is not None else FoldingSchedule(spec, m)
         counts = schedule.instruction_profile(vl, shifts_reuse=shifts_reuse)
         counts = counts.merge(post_rule_counts(spec, vl))
         notes = (
@@ -147,31 +175,67 @@ def profile_folded(
     )
 
 
+# Figure label for the tessellation baseline series (data_reorg vectorization
+# under tessellate tiling): not an executable method of its own.
+register(
+    MethodDescriptor(
+        key="tessellation",
+        label="Tessellation",
+        virtual=True,
+        description="figure label for the data_reorg + tessellate-tiling lineup",
+    )
+)
+
+# The naive reference executor: no vectorization model (profile-less), runs
+# through the plan's generic numeric path.
+register(
+    MethodDescriptor(
+        key="reference",
+        label="Reference",
+        description="naive single-step reference executor",
+    )
+)
+
+#: Method keys in the order the paper's figures list them (snapshot of the
+#: registry's figure line-up; plug-in methods live in the registry only).
+METHOD_KEYS = _registry_method_keys()
+
+#: Display names matching the paper's figures and tables.  A snapshot for
+#: back-compat — prefer :func:`repro.registry.label_for` for live lookups.
+METHOD_LABELS: Dict[str, str] = method_labels()
+
+
 def build_profile(
-    method: str, spec: StencilSpec, isa: str = "avx2", m: int = 2
+    method: str,
+    spec: StencilSpec,
+    isa: str = "avx2",
+    m: int = 2,
+    shifts_reuse: bool = True,
+    **extra: object,
 ) -> MethodProfile:
     """Build the :class:`MethodProfile` for ``method`` on ``spec``.
+
+    Dispatches through the pluggable method registry; every registered
+    method (built-in or plug-in) resolves uniformly.
 
     Parameters
     ----------
     method:
-        One of :data:`METHOD_KEYS`.
+        A registered method key (see :data:`METHOD_KEYS` for the paper's
+        line-up).
     spec:
         The stencil.
     isa:
         ``"avx2"`` or ``"avx512"``.
     m:
-        Unrolling factor used by the ``"folded"`` method (ignored otherwise).
+        Unrolling factor (consumed by methods that fold time steps).
+    shifts_reuse:
+        Whether the shifts-reuse optimisation is assumed (the ablation
+        benchmarks switch it off); forwarded to methods that model it.
+    extra:
+        Additional keyword arguments for methods with richer profile
+        builders (e.g. the SDSL baseline's tiling configuration).
     """
-    key = method.strip().lower()
-    if key == "multiple_loads":
-        return profile_multiple_loads(spec, isa)
-    if key == "data_reorg":
-        return profile_data_reorg(spec, isa)
-    if key == "dlt":
-        return profile_dlt(spec, isa)
-    if key == "transpose":
-        return profile_transpose(spec, isa)
-    if key == "folded":
-        return profile_folded(spec, isa, m)
-    raise KeyError(f"unknown method {method!r}; known: {METHOD_KEYS}")
+    return get_method(method).profile(
+        spec, isa=isa, m=m, shifts_reuse=shifts_reuse, **extra
+    )

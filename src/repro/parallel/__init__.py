@@ -4,10 +4,12 @@ Three pieces:
 
 * :mod:`repro.parallel.partition` — assigns the tiles of one tessellation
   stage to cores (greedy balanced partitioning),
-* :mod:`repro.parallel.executor` — a thread-pool executor that runs the
-  tiles of each stage concurrently; because tessellation tiles of one stage
-  are disjoint and only depend on earlier stages, the concurrent execution is
-  race-free and the result is validated against the reference in the tests,
+* :mod:`repro.parallel.executor` — thread-pool executors: one runs the
+  tiles of each tessellation stage concurrently (tiles of one stage are
+  disjoint and only depend on earlier stages, so the concurrent execution is
+  race-free and validated against the reference in the tests), the other
+  fans a compiled plan out over a batch of grids
+  (:func:`~repro.parallel.executor.run_plan_batch`),
 * :mod:`repro.parallel.model` — the analytic multicore model (shared memory
   bandwidth, AVX-512 frequency throttling, stage-barrier overhead and load
   imbalance) that produces the scalability curves of the paper's Figure 10 /
@@ -20,7 +22,7 @@ downstream user would reuse.
 """
 
 from repro.parallel.partition import partition_tiles
-from repro.parallel.executor import tessellate_run_parallel
+from repro.parallel.executor import run_plan_batch, tessellate_run_parallel
 from repro.parallel.model import (
     MulticoreConfig,
     multicore_estimate,
@@ -30,6 +32,7 @@ from repro.parallel.model import (
 
 __all__ = [
     "partition_tiles",
+    "run_plan_batch",
     "tessellate_run_parallel",
     "MulticoreConfig",
     "multicore_estimate",

@@ -1,19 +1,27 @@
-"""Concurrent tile executor.
+"""Concurrent executors: tessellation tiles and plan batches.
 
-Runs the tiles of each tessellation stage on a thread pool.  The point of
-this executor in the reproduction is *correctness under concurrency*: tiles
-of one stage touch disjoint regions and depend only on completed earlier
-stages, so executing them in arbitrary interleavings must give exactly the
-reference result — which the integration tests assert.  (CPython threads do
-not provide real parallel speedup for this Python-level code; the
-performance side of the multicore experiments comes from
-:mod:`repro.parallel.model`.)
+Two thread-pool executors live here:
+
+* :func:`tessellate_run_parallel` runs the tiles of each tessellation stage
+  concurrently.  The point of this executor in the reproduction is
+  *correctness under concurrency*: tiles of one stage touch disjoint regions
+  and depend only on completed earlier stages, so executing them in
+  arbitrary interleavings must give exactly the reference result — which the
+  integration tests assert.  (CPython threads do not provide real parallel
+  speedup for this Python-level code; the performance side of the multicore
+  experiments comes from :mod:`repro.parallel.model`.)
+
+* :func:`run_plan_batch` fans one compiled plan
+  (:class:`repro.core.plan.CompiledPlan`) out over many grids — the
+  run-many half of the compile-once/run-many API.  Because a plan's ``run``
+  is pure and its folding schedule is frozen at compile time, the batch
+  result is bit-identical to the sequential loop for any worker count.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -93,3 +101,53 @@ def tessellate_run_parallel(
         done += tr
         parity = (parity + tr) % 2
     return arrays[parity]
+
+
+#: Default fan-out of :func:`run_plan_batch` when the plan itself is not
+#: configured with a worker pool.
+DEFAULT_BATCH_WORKERS = 8
+
+
+def run_plan_batch(
+    plan: Any,
+    grids: Sequence[Grid],
+    steps: int,
+    workers: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Run one compiled plan over many grids on a thread pool.
+
+    The schedule, profile and configuration were all resolved when the plan
+    was compiled, so the per-grid work is a pure function of the grid — the
+    expensive :class:`~repro.core.vectorized_folding.FoldingSchedule`
+    construction is amortised across the whole batch and the results are
+    bit-identical to ``[plan.run(g, steps) for g in grids]`` in input order.
+
+    Parameters
+    ----------
+    plan:
+        A :class:`repro.core.plan.CompiledPlan` (duck-typed: anything with a
+        pure ``run(grid, steps)`` and a ``config.workers`` attribute works).
+    grids:
+        The grids to advance; results are returned in the same order.
+    steps:
+        Time steps to advance every grid by.
+    workers:
+        Thread-pool width; defaults to the plan's configured ``workers``
+        (``plan(...).parallel(n)``, including an explicit sequential
+        ``n=1``) or :data:`DEFAULT_BATCH_WORKERS` when the plan left it
+        unconfigured, capped at the batch size.
+    """
+    grids = list(grids)
+    if workers is None:
+        configured = getattr(plan.config, "workers", None)
+        workers = DEFAULT_BATCH_WORKERS if configured is None else int(configured)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if not grids:
+        return []
+    workers = min(workers, len(grids))
+    if workers == 1:
+        return [plan.run(grid, steps) for grid in grids]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        # map() preserves input order by contract.
+        return list(pool.map(lambda grid: plan.run(grid, steps), grids))

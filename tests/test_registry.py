@@ -1,0 +1,163 @@
+"""Tests for the pluggable method registry (repro.registry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.methods import METHOD_KEYS, METHOD_LABELS, build_profile
+from repro.perfmodel.profiles import MethodProfile
+from repro.registry import (
+    MethodDescriptor,
+    get_method,
+    is_registered,
+    label_for,
+    method_keys,
+    method_labels,
+    register,
+    register_method,
+    registered_keys,
+    set_executor,
+    unregister,
+)
+from repro.simd.machine import InstructionCounts
+from repro.stencils.library import box_2d9p, heat_1d, heat_2d
+
+
+class TestBuiltinRegistrations:
+    def test_paper_lineup_order(self):
+        assert method_keys() == (
+            "multiple_loads",
+            "data_reorg",
+            "dlt",
+            "transpose",
+            "folded",
+        )
+        assert METHOD_KEYS == method_keys()
+
+    def test_every_engine_method_is_registered(self):
+        from repro.core.engine import ENGINE_METHODS
+
+        for key in ENGINE_METHODS:
+            descriptor = get_method(key)
+            assert descriptor.key == key
+            assert not descriptor.virtual
+
+    def test_labels_cover_figures(self):
+        labels = method_labels()
+        for key in ("sdsl", "tessellation", "reference"):
+            assert key in labels
+        assert labels["transpose"] == "Our"
+        assert labels["folded"] == "Our (2 steps)"
+        assert METHOD_LABELS == labels
+
+    def test_label_for_default(self):
+        assert label_for("dlt") == "DLT"
+        assert label_for("folded_avx512", default="Our (AVX-512)") == "Our (AVX-512)"
+        with pytest.raises(KeyError):
+            label_for("folded_avx512")
+
+    def test_sdsl_is_profile_only(self):
+        assert get_method("sdsl").profile_only
+
+    def test_capability_flags(self):
+        folded = get_method("folded")
+        assert folded.supports_simulation
+        assert folded.uses_unroll
+        assert folded.uses_schedule
+        transpose = get_method("transpose")
+        assert transpose.supports_simulation
+        assert not transpose.uses_unroll
+        for key in ("multiple_loads", "data_reorg", "dlt", "reference"):
+            assert not get_method(key).supports_simulation
+
+    def test_unknown_method_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            get_method("yask")
+        with pytest.raises(KeyError):
+            build_profile("yask", heat_1d())
+
+    def test_virtual_entry_has_no_profile(self):
+        tess = get_method("tessellation")
+        assert tess.virtual
+        with pytest.raises(ValueError):
+            tess.profile(heat_1d())
+
+    def test_reference_has_no_profile(self):
+        with pytest.raises(ValueError):
+            get_method("reference").profile(heat_1d())
+
+
+class TestDispatch:
+    def test_build_profile_round_trips_all_keys(self):
+        spec = heat_2d()
+        for key in METHOD_KEYS:
+            profile = build_profile(key, spec, "avx2", m=2)
+            assert isinstance(profile, MethodProfile)
+            assert profile.method == key
+
+    def test_kwarg_filtering_drops_undeclared_knobs(self):
+        # multiple_loads declares only isa; m / shifts_reuse must be dropped
+        # silently rather than raising TypeError.
+        profile = build_profile("multiple_loads", heat_1d(), "avx512", m=7, shifts_reuse=False)
+        assert profile.isa == "avx512"
+
+    def test_shifts_reuse_forwarded_to_folded(self):
+        spec = box_2d9p()  # dense box: folding (and shifts reuse) applies
+        on = build_profile("folded", spec, "avx2", m=2, shifts_reuse=True)
+        off = build_profile("folded", spec, "avx2", m=2, shifts_reuse=False)
+        assert off.counts_per_point.total > on.counts_per_point.total
+
+
+class TestPluggability:
+    @pytest.fixture
+    def plugin(self):
+        """Register a throwaway method for the duration of one test."""
+
+        def executor(plan, grid, steps):
+            # A deliberately recognisable "backend": identity + 1 per step.
+            return grid.values + float(steps)
+
+        @register_method(
+            "test-plugin",
+            label="Test Plugin",
+            executor=executor,
+            description="unit-test backend",
+        )
+        def profile_plugin(spec, isa="avx2"):
+            return MethodProfile(
+                method="test-plugin",
+                stencil=spec.name,
+                isa=isa,
+                counts_per_point=InstructionCounts(),
+                flops_per_point=1.0,
+            )
+
+        yield "test-plugin"
+        unregister("test-plugin")
+
+    def test_registered_plugin_compiles_and_runs(self, plugin):
+        assert is_registered(plugin)
+        spec = heat_1d()
+        p = repro.plan(spec).method(plugin).compile()
+        grid = repro.Grid.random((16,), seed=3)
+        out = p.run(grid, 5)
+        np.testing.assert_array_equal(out, grid.values + 5.0)
+        assert p.profile().method == plugin
+        assert "Test Plugin" in p.explain()
+
+    def test_duplicate_registration_rejected(self, plugin):
+        with pytest.raises(ValueError):
+            register(MethodDescriptor(key=plugin, label="Again"))
+        # ... unless explicitly overwritten.
+        register(MethodDescriptor(key=plugin, label="Again"), overwrite=True)
+        assert label_for(plugin) == "Again"
+
+    def test_set_executor_requires_registration(self):
+        with pytest.raises(KeyError):
+            set_executor("not-a-method", lambda plan, grid, steps: grid.values)
+
+    def test_registered_keys_includes_plugins(self, plugin):
+        assert plugin in registered_keys()
+        assert plugin not in method_keys()  # no figure_order -> not in lineup
