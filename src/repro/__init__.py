@@ -25,6 +25,14 @@ Methods are looked up in a pluggable registry
 :func:`~repro.registry.register_method`.  The legacy
 :class:`~repro.core.engine.StencilEngine` remains as a deprecated wrapper
 over the plan API.
+
+Parameter sweeps are first-class: :func:`repro.study` declares an
+experiment grid (method × stencil × ISA × core count × ...), expands the
+cross-product, memoizes the profile/estimate pipeline, optionally fans the
+cells out over a worker pool, and returns an immutable queryable
+:class:`~repro.study.resultset.ResultSet`.  Every figure and table of the
+paper's evaluation (:mod:`repro.harness.experiments`) is a thin study
+definition over any :class:`~repro.machine.MachineSpec`.
 """
 
 from repro.machine import (
@@ -32,7 +40,9 @@ from repro.machine import (
     MACHINES,
     XEON_GOLD_6140_AVX2,
     XEON_GOLD_6140_AVX512,
+    isa_variant,
     machine_for_isa,
+    scalability_cores,
 )
 from repro.methods import METHOD_KEYS, METHOD_LABELS, build_profile
 from repro.registry import (
@@ -45,7 +55,15 @@ from repro.registry import (
 )
 from repro.core.plan import CompiledPlan, PlanBuilder, PlanConfig, plan
 from repro.core.engine import StencilEngine, EngineConfig
-from repro.parallel.executor import run_plan_batch
+from repro.parallel.executor import map_ordered, run_plan_batch
+from repro.study import (
+    EvalCache,
+    Provenance,
+    ResultSet,
+    StudyBuilder,
+    config_hash,
+    study,
+)
 from repro.core.folding import analyze_folding, profitability, folding_matrix
 from repro.core.vectorized_folding import FoldingSchedule
 from repro.stencils.grid import Grid
@@ -56,7 +74,7 @@ from repro.stencils.reference import reference_run, reference_step
 from repro.tiling.tessellate import TessellationConfig, tessellate_run
 from repro.perfmodel.costmodel import estimate_performance, PerformanceEstimate
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MachineSpec",

@@ -1,4 +1,4 @@
-"""The paper's evaluation experiments.
+"""The paper's evaluation experiments, as declarative studies.
 
 Each function reproduces one table or figure of Section 4 and returns an
 :class:`ExperimentResult` whose rows mirror the series of the original
@@ -7,6 +7,25 @@ artefact.  Absolute GFLOP/s values come from the analytic performance model
 benchmark suite makes are about the *shape* of the results — method
 orderings, crossover points, scaling behaviour — which is what a
 reproduction on a different substrate can meaningfully claim.
+
+Every experiment is a thin :mod:`repro.study` definition: the sweep axes
+(method × storage level × ISA × core count × benchmark) are declared on the
+study builder, the per-cell metric routes the profile/estimate pipeline
+through the study's memoization cache, and the resulting
+:class:`~repro.study.resultset.ResultSet` is wrapped in the legacy
+:class:`ExperimentResult` row format the benchmark suite consumes.  All
+experiments accept
+
+* ``machine=`` — any :class:`~repro.machine.MachineSpec` (the paper's Xeon
+  Gold 6140 stays the default); the multicore experiments derive the
+  AVX-512 variant via :func:`repro.machine.isa_variant` and sweep core
+  counts derived from the target machine's topology
+  (:func:`repro.machine.scalability_cores`);
+* ``workers=`` — worker-pool width for the sweep fan-out (results are
+  identical to the sequential run for any value);
+* ``cache=`` — a shared :class:`~repro.study.cache.EvalCache`, so repeated
+  cells across experiments (Table 2 replays Figure 8, Table 3 replays
+  Figure 10) are free.
 """
 
 from __future__ import annotations
@@ -16,16 +35,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.sdsl import profile_sdsl
 from repro.cache.analytic import problem_size_for_level
-from repro.core.folding import analyze_folding
-from repro.machine import MachineSpec, machine_for_isa
-from repro.methods import build_profile
-from repro.registry import label_for, method_keys
-from repro.parallel.model import multicore_estimate, scalability_curve
-from repro.perfmodel.costmodel import estimate_performance
+from repro.machine import (
+    MachineSpec,
+    XEON_GOLD_6140_AVX2,
+    isa_variant,
+    machine_for_isa,
+    scalability_cores,
+)
 from repro.perfmodel.profiles import MethodProfile
+from repro.registry import label_for, method_keys
 from repro.stencils.library import BENCHMARKS, BenchmarkCase, get_benchmark
+from repro.study import EvalCache, ResultSet, StudyCell, study
 from repro.tiling.splittiling import SplitTilingConfig
 from repro.tiling.tessellate import TessellationConfig
 
@@ -36,11 +57,20 @@ STORAGE_LEVELS = ("L1", "L2", "L3", "Memory")
 #: the registry's figure line-up, in the order the paper plots it.
 SEQUENTIAL_METHODS = method_keys()
 
-#: Core counts swept by the scalability experiment (Figure 10).
-SCALABILITY_CORES = (1, 2, 4, 8, 12, 18, 24, 30, 36)
+#: Core counts swept by the scalability experiment (Figure 10) on the
+#: paper's machine; a non-default ``machine=`` derives its own sweep from
+#: its topology via :func:`repro.machine.scalability_cores`.
+SCALABILITY_CORES = scalability_cores(XEON_GOLD_6140_AVX2)
 
 #: Benchmarks the SDSL package does not support (Table 3 shows "-").
 SDSL_UNSUPPORTED = frozenset({"apop", "game-of-life", "gb"})
+
+#: Series of the multicore experiments (Figure 9 / Figure 10 / Table 3), in
+#: the order the paper plots them.
+MULTICORE_SERIES = ("sdsl", "tessellation", "transpose", "folded", "folded_avx512")
+
+#: Display label of the paper's "gains with AVX-512" series.
+AVX512_LABEL = "Our (2 steps, AVX-512)"
 
 
 @dataclass
@@ -64,10 +94,33 @@ class ExperimentResult:
                 out.append(row)
         return out
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data representation (for ``--json`` serialisation)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "notes": self.notes,
+            "rows": [dict(row) for row in self.rows],
+        }
+
 
 # --------------------------------------------------------------------------- #
 # helpers
 # --------------------------------------------------------------------------- #
+def _resolve_machine(isa: Optional[str], machine: Optional[MachineSpec]) -> MachineSpec:
+    """The machine an ISA-parameterised sequential experiment targets.
+
+    ``machine=None`` keeps the paper's Xeon Gold 6140 in the requested ISA
+    configuration; an explicit machine is re-derived for the requested ISA
+    (a no-op when it already matches).
+    """
+    if machine is None:
+        return machine_for_isa(isa or "avx2")
+    if isa is None:
+        return machine
+    return isa_variant(machine, isa)
+
+
 def _tiling_from_case(case: BenchmarkCase, spec_radius: int) -> TessellationConfig:
     """Derive the tessellation configuration from a Table 1 blocking entry."""
     dims = len(case.problem_size)
@@ -102,88 +155,151 @@ def _sdsl_config(case: BenchmarkCase, spec_radius: int) -> SplitTilingConfig:
     )
 
 
-def _multicore_methods(
-    case: BenchmarkCase, isa: str, machine: MachineSpec
-) -> List[Tuple[str, MethodProfile, Optional[TessellationConfig]]]:
-    """Method line-up of the multicore experiments for one benchmark."""
+def _series_inputs(
+    case: BenchmarkCase,
+    series: str,
+    machine_avx2: MachineSpec,
+    machine_avx512: MachineSpec,
+    cache: EvalCache,
+) -> Optional[Tuple[MethodProfile, MachineSpec, Optional[TessellationConfig], str, str]]:
+    """Resolve one multicore series for ``case``: profile, machine, tiling, label, isa.
+
+    Returns ``None`` for combinations the paper marks "-" (SDSL on the
+    benchmarks the package does not support).  Profiles are memoized through
+    ``cache``, so the same series resolved for many core counts is free.
+    """
     spec = case.spec
     radius = spec.radius
     tiling = _tiling_from_case(case, radius)
-    lineup: List[Tuple[str, MethodProfile, Optional[TessellationConfig]]] = []
-    if case.key not in SDSL_UNSUPPORTED:
-        sdsl = profile_sdsl(
+    if series == "sdsl":
+        if case.key in SDSL_UNSUPPORTED:
+            return None
+        profile = cache.profile(
+            "sdsl",
             spec,
-            isa,
-            _sdsl_config(case, radius),
-            case.problem_size,
-            machine,
+            isa="avx2",
+            config=_sdsl_config(case, radius),
+            grid_shape=case.problem_size,
+            machine=machine_avx2,
             hybrid_blocks=tiling.block_sizes,
         )
-        lineup.append(("sdsl", sdsl, None))
-    lineup.append(("tessellation", build_profile("data_reorg", spec, isa), tiling))
-    lineup.append(("transpose", build_profile("transpose", spec, isa), tiling))
-    lineup.append(("folded", build_profile("folded", spec, isa, m=2), tiling))
-    return lineup
+        # Split tiling's temporal reuse is baked into the SDSL profile, so
+        # no tessellation config is attached on top.
+        return profile, machine_avx2, None, label_for("sdsl"), "avx2"
+    if series == "tessellation":
+        profile = cache.profile("data_reorg", spec, isa="avx2")
+        return profile, machine_avx2, tiling, label_for("tessellation"), "avx2"
+    if series == "transpose":
+        profile = cache.profile("transpose", spec, isa="avx2")
+        return profile, machine_avx2, tiling, label_for("transpose"), "avx2"
+    if series == "folded":
+        profile = cache.profile("folded", spec, isa="avx2", m=2)
+        return profile, machine_avx2, tiling, label_for("folded"), "avx2"
+    if series == "folded_avx512":
+        profile = cache.profile("folded", spec, isa="avx512", m=2)
+        return profile, machine_avx512, tiling, AVX512_LABEL, "avx512"
+    raise KeyError(f"unknown multicore series {series!r}")
+
+
+def _multicore_machines(
+    machine: Optional[MachineSpec],
+) -> Tuple[MachineSpec, MachineSpec]:
+    """Both ISA variants of the multicore experiments' target machine.
+
+    Each variant is derived from the caller's spec directly, so passing an
+    AVX-512 (or AVX-2) machine keeps that exact spec for its own series —
+    identity matters for cache keys and provenance.
+    """
+    base = machine if machine is not None else machine_for_isa("avx2")
+    return isa_variant(base, "avx2"), isa_variant(base, "avx512")
 
 
 # --------------------------------------------------------------------------- #
 # Figure 8 — sequential block-free performance across storage levels
 # --------------------------------------------------------------------------- #
 def figure8(
-    isa: str = "avx2",
+    isa: Optional[str] = None,
     time_steps_values: Sequence[int] = (1000, 10000),
     benchmark: str = "1d-heat",
+    machine: Optional[MachineSpec] = None,
+    workers: Optional[int] = None,
+    cache: Optional[EvalCache] = None,
 ) -> ExperimentResult:
     """Sequential block-free comparison of the five vectorization methods.
 
     For each storage level a problem size resident in that level is chosen
-    (as the paper does) and every method's single-core performance is
-    estimated without any spatial/temporal blocking, for both total time-step
-    counts the paper examines.
+    (as the paper does — the levels come from the target machine's own cache
+    hierarchy) and every method's single-core performance is estimated
+    without any spatial/temporal blocking, for both total time-step counts
+    the paper examines.
     """
-    machine = machine_for_isa(isa)
+    machine = _resolve_machine(isa, machine)
+    isa = machine.isa
     case = get_benchmark(benchmark)
     spec = case.spec
-    result = ExperimentResult(
-        name="figure8",
-        description=(
-            "Absolute performance (GFLOP/s) of the vectorization methods in "
-            "single-thread blocking-free runs, by storage level"
-        ),
-        notes=f"stencil={spec.name}, isa={isa}",
+    description = (
+        "Absolute performance (GFLOP/s) of the vectorization methods in "
+        "single-thread blocking-free runs, by storage level"
     )
-    for time_steps in time_steps_values:
-        for level in STORAGE_LEVELS:
-            npoints = problem_size_for_level(machine, level, bytes_per_point=16.0)
-            for method in SEQUENTIAL_METHODS:
-                profile = build_profile(method, spec, isa, m=2)
-                est = estimate_performance(
-                    profile, npoints=npoints, time_steps=time_steps, machine=machine
-                )
-                result.rows.append(
-                    {
-                        "time_steps": time_steps,
-                        "level": level,
-                        "method": method,
-                        "label": label_for(method),
-                        "npoints": npoints,
-                        "gflops": est.gflops,
-                        "bound": est.bound,
-                    }
-                )
-    return result
+    notes = f"stencil={spec.name}, isa={isa}"
+    if not tuple(time_steps_values):
+        # An empty selection is a legal (empty) sweep, not an error.
+        return ExperimentResult(name="figure8", description=description, notes=notes)
+
+    def metric(cell: StudyCell) -> Dict[str, object]:
+        npoints = problem_size_for_level(cell.machine, cell["level"], bytes_per_point=16.0)
+        profile = cell.cache.profile(cell["method"], spec, isa=isa, m=2)
+        est = cell.cache.estimate(
+            profile, npoints=npoints, time_steps=cell["time_steps"], machine=cell.machine
+        )
+        return {
+            "time_steps": cell["time_steps"],
+            "level": cell["level"],
+            "method": cell["method"],
+            "label": label_for(cell["method"]),
+            "npoints": npoints,
+            "gflops": est.gflops,
+            "bound": est.bound,
+        }
+
+    result = (
+        study("figure8")
+        .over(
+            time_steps=tuple(time_steps_values),
+            level=STORAGE_LEVELS,
+            method=SEQUENTIAL_METHODS,
+        )
+        .on(machine)
+        .metric(metric)
+        .cache(cache)
+        .run(workers=workers if workers is not None else 1)
+    )
+    return result.to_experiment(name="figure8", description=description, notes=notes)
 
 
 # --------------------------------------------------------------------------- #
 # Table 2 — relative improvements per storage level
 # --------------------------------------------------------------------------- #
-def table2(isa: str = "avx2", benchmark: str = "1d-heat") -> ExperimentResult:
+def table2(
+    isa: Optional[str] = None,
+    benchmark: str = "1d-heat",
+    machine: Optional[MachineSpec] = None,
+    workers: Optional[int] = None,
+    cache: Optional[EvalCache] = None,
+) -> ExperimentResult:
     """Relative improvement of every method over multiple loads, per level.
 
     Reproduces Table 2: one row per storage level plus the mean row, with
     multiple loads normalised to 1.00x in every row.
     """
-    base = figure8(isa=isa, time_steps_values=(1000,), benchmark=benchmark)
+    base = figure8(
+        isa=isa,
+        time_steps_values=(1000,),
+        benchmark=benchmark,
+        machine=machine,
+        workers=workers,
+        cache=cache,
+    )
     result = ExperimentResult(
         name="table2",
         description="Performance improvements relative to the multiple-loads method",
@@ -210,7 +326,12 @@ def table2(isa: str = "avx2", benchmark: str = "1d-heat") -> ExperimentResult:
 # --------------------------------------------------------------------------- #
 # Figure 9 — multicore cache-blocking performance and speedups
 # --------------------------------------------------------------------------- #
-def figure9(cores: int = 36) -> ExperimentResult:
+def figure9(
+    cores: Optional[int] = None,
+    machine: Optional[MachineSpec] = None,
+    workers: Optional[int] = None,
+    cache: Optional[EvalCache] = None,
+) -> ExperimentResult:
     """Multicore cache-blocking comparison over the nine benchmarks.
 
     For every benchmark of Table 1 the SDSL baseline, the tessellation
@@ -220,64 +341,56 @@ def figure9(cores: int = 36) -> ExperimentResult:
     first method available for the benchmark (SDSL where supported,
     tessellation otherwise), mirroring the paper's normalisation.
     """
-    result = ExperimentResult(
+    machine_avx2, machine_avx512 = _multicore_machines(machine)
+    if cores is None:
+        cores = machine_avx2.total_cores
+
+    def metric(cell: StudyCell) -> Optional[Dict[str, object]]:
+        case = get_benchmark(cell["key"])
+        resolved = _series_inputs(
+            case, cell["series"], machine_avx2, machine_avx512, cell.cache
+        )
+        if resolved is None:
+            return None
+        profile, mach, tiling, label, isa = resolved
+        est = cell.cache.multicore(
+            profile,
+            grid_shape=case.problem_size,
+            time_steps=case.time_steps,
+            machine=mach,
+            cores=cores,
+            radius=case.spec.radius,
+            tiling=tiling,
+        )
+        return {
+            "benchmark": case.display_name,
+            "key": case.key,
+            "method": cell["series"],
+            "label": label,
+            "isa": isa,
+            "gflops": est.gflops,
+        }
+
+    swept = (
+        study("figure9")
+        .over(key=tuple(BENCHMARKS), series=MULTICORE_SERIES)
+        .on(machine_avx2)
+        .metric(metric)
+        .cache(cache)
+        .run(workers=workers if workers is not None else 1)
+    )
+    result = swept.to_experiment(
         name="figure9",
         description="Multicore cache-blocking performance (GFLOP/s) and speedups",
         notes=f"cores={cores}",
     )
-    machine_avx2 = machine_for_isa("avx2")
-    machine_avx512 = machine_for_isa("avx512")
-    for key, case in BENCHMARKS.items():
-        spec = case.spec
-        radius = spec.radius
-        rows_for_case: List[Dict[str, object]] = []
-        lineup = _multicore_methods(case, "avx2", machine_avx2)
-        for method, profile, tiling in lineup:
-            est = multicore_estimate(
-                profile,
-                grid_shape=case.problem_size,
-                time_steps=case.time_steps,
-                machine=machine_avx2,
-                cores=cores,
-                radius=radius,
-                tiling=tiling,
-            )
-            rows_for_case.append(
-                {
-                    "benchmark": case.display_name,
-                    "key": key,
-                    "method": method,
-                    "label": label_for(method),
-                    "isa": "avx2",
-                    "gflops": est.gflops,
-                }
-            )
-        # Our 2-step method with AVX-512.
-        tiling = _tiling_from_case(case, radius)
-        folded512 = build_profile("folded", spec, "avx512", m=2)
-        est512 = multicore_estimate(
-            folded512,
-            grid_shape=case.problem_size,
-            time_steps=case.time_steps,
-            machine=machine_avx512,
-            cores=cores,
-            radius=radius,
-            tiling=tiling,
-        )
-        rows_for_case.append(
-            {
-                "benchmark": case.display_name,
-                "key": key,
-                "method": "folded_avx512",
-                "label": "Our (2 steps, AVX-512)",
-                "isa": "avx512",
-                "gflops": est512.gflops,
-            }
-        )
-        base_gflops = rows_for_case[0]["gflops"]
-        for row in rows_for_case:
-            row["speedup"] = row["gflops"] / base_gflops
-        result.rows.extend(rows_for_case)
+    # The paper normalises each benchmark's bars to its first available
+    # series; this needs the whole benchmark group, so it runs as a
+    # post-pass over the (ordered) sweep rows.
+    base_gflops: Dict[str, float] = {}
+    for row in result.rows:
+        base = base_gflops.setdefault(row["key"], row["gflops"])
+        row["speedup"] = row["gflops"] / base
     return result
 
 
@@ -285,75 +398,100 @@ def figure9(cores: int = 36) -> ExperimentResult:
 # Figure 10 — scalability
 # --------------------------------------------------------------------------- #
 def figure10(
-    cores_list: Sequence[int] = SCALABILITY_CORES,
+    cores_list: Optional[Sequence[int]] = None,
     benchmarks: Optional[Sequence[str]] = None,
+    machine: Optional[MachineSpec] = None,
+    workers: Optional[int] = None,
+    cache: Optional[EvalCache] = None,
 ) -> ExperimentResult:
-    """Scalability curves (GFLOP/s versus active cores) for every benchmark."""
-    result = ExperimentResult(
-        name="figure10",
-        description="Scalability of the tiled methods from 1 to 36 cores",
-        notes=f"cores={tuple(cores_list)}",
-    )
-    machine_avx2 = machine_for_isa("avx2")
-    machine_avx512 = machine_for_isa("avx512")
-    keys = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
-    for key in keys:
-        case = get_benchmark(key)
-        spec = case.spec
-        radius = spec.radius
-        tiling = _tiling_from_case(case, radius)
-        lineup = _multicore_methods(case, "avx2", machine_avx2)
-        series: List[Tuple[str, str, MethodProfile, Optional[TessellationConfig], MachineSpec]] = [
-            (method, label_for(method), profile, t, machine_avx2)
-            for method, profile, t in lineup
-        ]
-        series.append(
-            (
-                "folded_avx512",
-                "Our (2 steps, AVX-512)",
-                build_profile("folded", spec, "avx512", m=2),
-                tiling,
-                machine_avx512,
-            )
+    """Scalability curves (GFLOP/s versus active cores) for every benchmark.
+
+    ``cores_list`` defaults to a sweep derived from the target machine's
+    core topology (:func:`repro.machine.scalability_cores`) — the paper's
+    ``(1, 2, 4, 8, 12, 18, 24, 30, 36)`` on the default Xeon Gold 6140.
+    """
+    machine_avx2, machine_avx512 = _multicore_machines(machine)
+    if cores_list is None:
+        cores_list = scalability_cores(machine_avx2)
+    cores_list = tuple(cores_list)
+    keys = tuple(benchmarks) if benchmarks is not None else tuple(BENCHMARKS)
+    if not keys or not cores_list:
+        # An empty selection is a legal (empty) sweep, not an error.
+        return ExperimentResult(
+            name="figure10",
+            description="Scalability of the tiled methods",
+            notes=f"cores={cores_list}",
         )
-        for method, label, profile, t, machine in series:
-            curve = scalability_curve(
-                profile,
-                grid_shape=case.problem_size,
-                time_steps=case.time_steps,
-                machine=machine,
-                cores_list=cores_list,
-                radius=radius,
-                tiling=t,
-            )
-            for cores, est in curve.items():
-                result.rows.append(
-                    {
-                        "benchmark": case.display_name,
-                        "key": key,
-                        "method": method,
-                        "label": label,
-                        "cores": cores,
-                        "gflops": est.gflops,
-                    }
-                )
-    return result
+
+    def metric(cell: StudyCell) -> Optional[Dict[str, object]]:
+        case = get_benchmark(cell["key"])
+        resolved = _series_inputs(
+            case, cell["series"], machine_avx2, machine_avx512, cell.cache
+        )
+        if resolved is None:
+            return None
+        profile, mach, tiling, label, _isa = resolved
+        est = cell.cache.multicore(
+            profile,
+            grid_shape=case.problem_size,
+            time_steps=case.time_steps,
+            machine=mach,
+            cores=cell["cores"],
+            radius=case.spec.radius,
+            tiling=tiling,
+        )
+        return {
+            "benchmark": case.display_name,
+            "key": case.key,
+            "method": cell["series"],
+            "label": label,
+            "cores": cell["cores"],
+            "gflops": est.gflops,
+        }
+
+    swept = (
+        study("figure10")
+        .over(key=keys, series=MULTICORE_SERIES, cores=cores_list)
+        .on(machine_avx2)
+        .metric(metric)
+        .cache(cache)
+        .run(workers=workers if workers is not None else 1)
+    )
+    return swept.to_experiment(
+        name="figure10",
+        description=f"Scalability of the tiled methods from 1 to {max(cores_list)} cores",
+        notes=f"cores={cores_list}",
+    )
 
 
 # --------------------------------------------------------------------------- #
 # Table 3 — speedup over a single core at 36 cores
 # --------------------------------------------------------------------------- #
-def table3(cores: int = 36, benchmarks: Optional[Sequence[str]] = None) -> ExperimentResult:
+def table3(
+    cores: Optional[int] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    machine: Optional[MachineSpec] = None,
+    workers: Optional[int] = None,
+    cache: Optional[EvalCache] = None,
+) -> ExperimentResult:
     """Speedup over a single core for every stencil and method (Table 3)."""
-    scal = figure10(cores_list=(1, cores), benchmarks=benchmarks)
+    machine_avx2, _ = _multicore_machines(machine)
+    if cores is None:
+        cores = machine_avx2.total_cores
+    scal = figure10(
+        cores_list=(1, cores),
+        benchmarks=benchmarks,
+        machine=machine,
+        workers=workers,
+        cache=cache,
+    )
     result = ExperimentResult(
         name="table3",
         description=f"Speedup over single core at {cores} cores",
         notes=scal.notes,
     )
     keys = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
-    methods = ["sdsl", "tessellation", "transpose", "folded", "folded_avx512"]
-    for method in methods:
+    for method in MULTICORE_SERIES:
         entry: Dict[str, object] = {"method": label_for(method, default=method)}
         for key in keys:
             case = get_benchmark(key)
@@ -373,31 +511,40 @@ def table3(cores: int = 36, benchmarks: Optional[Sequence[str]] = None) -> Exper
 # --------------------------------------------------------------------------- #
 # Section 3.2 — collects / profitability analysis
 # --------------------------------------------------------------------------- #
-def collects_analysis(m: int = 2) -> ExperimentResult:
+def collects_analysis(
+    m: int = 2,
+    workers: Optional[int] = None,
+    cache: Optional[EvalCache] = None,
+) -> ExperimentResult:
     """Arithmetic-collect analysis (Section 3.2) for every linear benchmark.
 
     Reports ``|C(E)|``, ``|C(E_Λ)|`` (plain and optimised) and the
     profitability index; for the paper's 2-step 9-point box the row is
     90 / 25 / 9 / 10.0.
     """
-    result = ExperimentResult(
+    linear_keys = tuple(key for key, case in BENCHMARKS.items() if case.spec.linear)
+
+    def metric(cell: StudyCell) -> Dict[str, object]:
+        case = get_benchmark(cell["key"])
+        report = cell.cache.folding(case.spec, m)
+        return {
+            "benchmark": case.display_name,
+            "collect_naive": report.collect_naive,
+            "collect_folded": report.collect_folded,
+            "collect_optimized": report.collect_optimized,
+            "separable": report.separable,
+            "profitability": report.profitability_optimized,
+        }
+
+    swept = (
+        study("collects")
+        .over(key=linear_keys)
+        .metric(metric)
+        .cache(cache)
+        .run(workers=workers if workers is not None else 1)
+    )
+    return swept.to_experiment(
         name="collects",
         description="Arithmetic collects and profitability of temporal folding",
         notes=f"m={m}",
     )
-    for key, case in BENCHMARKS.items():
-        spec = case.spec
-        if not spec.linear:
-            continue
-        report = analyze_folding(spec, m)
-        result.rows.append(
-            {
-                "benchmark": case.display_name,
-                "collect_naive": report.collect_naive,
-                "collect_folded": report.collect_folded,
-                "collect_optimized": report.collect_optimized,
-                "separable": report.separable,
-                "profitability": report.profitability_optimized,
-            }
-        )
-    return result

@@ -1,15 +1,36 @@
 """Experiment registry and command-line entry point.
 
 ``python -m repro.harness.runner`` regenerates every table and figure and
-prints them; ``python -m repro.harness.runner figure8 table2`` runs a subset.
-The same functions are used by the pytest benchmarks, so the printed rows and
-the benchmarked rows always agree.
+prints them; ``python -m repro.harness.runner figure8 table2`` runs a
+subset.  The same functions are used by the pytest benchmarks, so the
+printed rows and the benchmarked rows always agree.
+
+Sweep selection and output flags::
+
+    python -m repro.harness.runner figure8 --isa avx512     # ISA sweep
+    python -m repro.harness.runner figure9 --cores 18       # core count
+    python -m repro.harness.runner figure10 --benchmark 2d9p
+    python -m repro.harness.runner --workers 8              # parallel sweeps
+    python -m repro.harness.runner table2 --json            # machine-readable
+    python -m repro.harness.runner --list                   # what exists
+
+Every experiment accepts only the flags that make sense for it; the runner
+filters the selection flags against each experiment's signature, so
+``--isa`` reaches ``figure8``/``table2`` while ``figure9`` ignores it.  A
+single :class:`~repro.study.cache.EvalCache` is shared across the selected
+experiments, so artefacts that replay each other's cells (Table 2 replays
+Figure 8, Table 3 replays Figure 10) reuse the memoized profiles and
+estimates.
 """
 
 from __future__ import annotations
 
+import argparse
+import inspect
+import json
 import sys
-from typing import Callable, Dict, Iterable, List
+import warnings
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.harness.experiments import (
     ExperimentResult,
@@ -21,9 +42,14 @@ from repro.harness.experiments import (
     table3,
 )
 from repro.harness.report import format_experiment
+from repro.study import EvalCache
 
-#: Registry of experiment name → zero-argument callable.
-EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+#: Registry of experiment name → callable returning an
+#: :class:`ExperimentResult`.  Callables accept (a subset of) the sweep
+#: keyword arguments ``isa``, ``benchmark``, ``cores``, ``machine``,
+#: ``workers`` and ``cache``; :func:`run_experiment` forwards only what each
+#: signature declares.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "figure8": figure8,
     "table2": table2,
     "figure9": figure9,
@@ -33,27 +59,136 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str) -> ExperimentResult:
-    """Run the experiment registered under ``name``."""
+def _accepted_kwargs(fn: Callable[..., ExperimentResult], kwargs: Dict[str, object]) -> Dict[str, object]:
+    """The subset of ``kwargs`` that ``fn``'s signature declares."""
+    params = inspect.signature(fn).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return dict(kwargs)
+    return {k: v for k, v in kwargs.items() if k in params}
+
+
+def run_experiment(name: str, **kwargs: object) -> ExperimentResult:
+    """Run the experiment registered under ``name``.
+
+    Keyword arguments (``isa=``, ``cores=``, ``workers=``, ``machine=``,
+    ``cache=``, ...) are forwarded to the experiment, silently dropping any
+    the experiment's signature does not declare — so one set of sweep flags
+    can drive heterogeneous experiments.
+    """
     key = name.strip().lower()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[key]()
+    fn = EXPERIMENTS[key]
+    passed = {k: v for k, v in kwargs.items() if v is not None}
+    return fn(**_accepted_kwargs(fn, passed))
 
 
-def run_all(names: Iterable[str] | None = None) -> List[ExperimentResult]:
-    """Run all (or the named) experiments and return their results."""
+def run_all(names: Iterable[str] | None = None, **kwargs: object) -> List[ExperimentResult]:
+    """Run all (or the named) experiments and return their results.
+
+    Duplicate names are executed once, keeping first-occurrence order; a
+    ``UserWarning`` surfaces each ignored duplicate.  All experiments share
+    one memoization cache unless the caller supplies ``cache=`` explicitly.
+    """
     selected = list(names) if names else list(EXPERIMENTS)
-    return [run_experiment(name) for name in selected]
+    seen = set()
+    unique: List[str] = []
+    for name in selected:
+        key = name.strip().lower()
+        if key in seen:
+            warnings.warn(
+                f"duplicate experiment {name!r} ignored (already selected)",
+                UserWarning,
+                stacklevel=2,
+            )
+            continue
+        seen.add(key)
+        unique.append(name)
+    kwargs.setdefault("cache", EvalCache())
+    return [run_experiment(name, **kwargs) for name in unique]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiments to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the registered experiments and exit"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document with every result instead of text tables",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-pool width for the study sweeps (default: sequential)",
+    )
+    parser.add_argument(
+        "--isa",
+        choices=("avx2", "avx512"),
+        default=None,
+        help="instruction set for the sequential experiments (figure8/table2)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default=None,
+        metavar="KEY",
+        help="restrict figure8/table2 to one benchmark stencil (e.g. 2d9p)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        metavar="KEYS",
+        help="comma-separated benchmark keys for figure10/table3",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        metavar="N",
+        help="core count for the multicore experiments (figure9/table3)",
+    )
+    return parser
 
 
 def main(argv: List[str] | None = None) -> int:
-    """CLI entry point: print the requested experiments as text tables."""
-    argv = list(sys.argv[1:] if argv is None else argv)
-    names = argv or list(EXPERIMENTS)
-    for name in names:
-        result = run_experiment(name)
-        print(format_experiment(result))
+    """CLI entry point: print the requested experiments as tables or JSON."""
+    args = _build_parser().parse_args(list(sys.argv[1:] if argv is None else argv))
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    sweep_kwargs: Dict[str, Optional[object]] = {
+        "workers": args.workers,
+        "isa": args.isa,
+        "benchmark": args.benchmark,
+        "cores": args.cores,
+    }
+    if args.benchmarks:
+        sweep_kwargs["benchmarks"] = tuple(
+            key.strip() for key in args.benchmarks.split(",") if key.strip()
+        )
+    try:
+        results = run_all(args.names or None, **sweep_kwargs)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([result.to_dict() for result in results], indent=2, default=str))
+    else:
+        for result in results:
+            print(format_experiment(result))
     return 0
 
 

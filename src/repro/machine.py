@@ -23,7 +23,7 @@ The cost model in :mod:`repro.perfmodel` and the multicore model in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Tuple
 
 
@@ -272,6 +272,77 @@ MACHINES: Dict[str, MachineSpec] = {
     "avx2": XEON_GOLD_6140_AVX2,
     "avx512": XEON_GOLD_6140_AVX512,
 }
+
+
+#: SIMD register file per ISA: ``isa -> (float64 lanes, architectural regs)``.
+_ISA_REGISTER_FILES: Dict[str, Tuple[int, int]] = {
+    "avx2": (4, 16),
+    "avx512": (8, 32),
+}
+
+
+def isa_variant(machine: MachineSpec, isa: str) -> MachineSpec:
+    """Return ``machine`` reconfigured for ``isa``.
+
+    The multicore experiments evaluate the *same physical machine* in both
+    instruction-set configurations (the AVX-512 series of Figure 9/10).  For
+    the bundled Xeon Gold 6140 specs this returns the exact registered
+    counterpart; for a user-supplied machine it derives the variant by
+    swapping the SIMD register file (4×ymm16 for AVX-2, 8×zmm32 for
+    AVX-512) while keeping the topology, caches, bandwidths and frequency
+    behaviour — a custom spec models AVX-512 throttling through its own
+    ``FrequencySpec.avx512_allcore_ghz``, which applies in either variant.
+    """
+    isa = isa.strip().lower()
+    if isa not in _ISA_REGISTER_FILES:
+        raise KeyError(f"unknown ISA {isa!r}; expected one of {sorted(_ISA_REGISTER_FILES)}")
+    if machine.isa == isa:
+        return machine
+    if machine in MACHINES.values():
+        return MACHINES[isa]
+    lanes, registers = _ISA_REGISTER_FILES[isa]
+    name = machine.name
+    # Strip a variant suffix this function previously appended, so repeated
+    # derivation never stacks suffixes.
+    for variant_isa in _ISA_REGISTER_FILES:
+        suffix = f" [{variant_isa}]"
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+            break
+    for tag, variant_isa in (("(AVX-2)", "avx2"), ("(AVX-512)", "avx512")):
+        if tag in name and variant_isa != isa:
+            other = "(AVX-512)" if isa == "avx512" else "(AVX-2)"
+            name = name.replace(tag, other)
+            break
+    else:
+        name = f"{name} [{isa}]"
+    return replace(
+        machine, isa=isa, vector_lanes=lanes, vector_registers=registers, name=name
+    )
+
+
+def scalability_cores(machine: MachineSpec) -> Tuple[int, ...]:
+    """Core counts to sweep in a scalability experiment on ``machine``.
+
+    Mirrors the sampling of the paper's Figure 10: geometric (powers of two)
+    through the low end, then roughly six evenly spaced points up to the
+    full machine.  For the Xeon Gold 6140 this reproduces the paper's sweep
+    ``(1, 2, 4, 8, 12, 18, 24, 30, 36)`` exactly; any other
+    :class:`MachineSpec` gets a sweep of the same shape ending at its own
+    ``total_cores``.
+    """
+    total = machine.total_cores
+    step = max(1, round(total / 6))
+    cores = [1]
+    while cores[-1] * 2 < 2 * step:
+        cores.append(cores[-1] * 2)
+    nxt = (cores[-1] // step + 1) * step
+    while nxt <= total:
+        cores.append(nxt)
+        nxt += step
+    if cores[-1] != total:
+        cores.append(total)
+    return tuple(cores)
 
 
 def machine_for_isa(isa: str) -> MachineSpec:

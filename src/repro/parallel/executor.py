@@ -108,6 +108,30 @@ def tessellate_run_parallel(
 DEFAULT_BATCH_WORKERS = 8
 
 
+def map_ordered(fn, items: Sequence[Any], workers: int) -> List[Any]:
+    """Apply ``fn`` over ``items`` on a thread pool, preserving input order.
+
+    The shared fan-out primitive of the batch executor and the study sweep
+    runner (:mod:`repro.study`): ``workers`` is capped at the item count,
+    ``workers=1`` degenerates to a plain sequential loop, and the result
+    list matches ``[fn(item) for item in items]`` element-for-element for
+    any worker count — which is exactly the determinism contract both
+    callers expose.  ``fn`` must be pure (or at least thread-safe) for that
+    contract to hold.
+    """
+    items = list(items)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if not items:
+        return []
+    workers = min(workers, len(items))
+    if workers == 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        # map() preserves input order by contract.
+        return list(pool.map(fn, items))
+
+
 def run_plan_batch(
     plan: Any,
     grids: Sequence[Grid],
@@ -141,13 +165,4 @@ def run_plan_batch(
     if workers is None:
         configured = getattr(plan.config, "workers", None)
         workers = DEFAULT_BATCH_WORKERS if configured is None else int(configured)
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    if not grids:
-        return []
-    workers = min(workers, len(grids))
-    if workers == 1:
-        return [plan.run(grid, steps) for grid in grids]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        # map() preserves input order by contract.
-        return list(pool.map(lambda grid: plan.run(grid, steps), grids))
+    return map_ordered(lambda grid: plan.run(grid, steps), grids, workers)

@@ -1,0 +1,83 @@
+"""Canonical freezing and git-style hashing of sweep configurations.
+
+The study memoization cache (:mod:`repro.study.cache`) and the provenance
+record of a :class:`~repro.study.resultset.ResultSet` both need a *stable*
+identity for arbitrary configuration values: stencil specs (which carry
+numpy kernels), machine descriptions, tiling configurations, method
+profiles, plain scalars and containers of all of these.  :func:`freeze`
+maps any such value onto a canonical, hashable, order-preserving structure,
+and :func:`config_hash` digests that structure into a short git-style hex
+string.
+
+Two values that compare equal as configurations freeze to the same
+structure; values that differ anywhere (a kernel weight, a cache size, an
+unroll factor) hash differently.  Callables are identified by their
+qualified name — good enough for the library's deterministic post-rules and
+metric functions, which is the only place callables enter a cache key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any, Hashable
+
+import numpy as np
+
+#: Length of the hex digest returned by :func:`config_hash` (git-style short
+#: object id).
+HASH_LENGTH = 12
+
+
+def freeze(value: Any) -> Hashable:
+    """Return a canonical hashable structure identifying ``value``.
+
+    Supported inputs: ``None``, booleans, numbers, strings, bytes, enums,
+    numpy scalars and arrays, dataclasses (frozen or not — including
+    :class:`~repro.stencils.spec.StencilSpec`,
+    :class:`~repro.machine.MachineSpec`,
+    :class:`~repro.perfmodel.profiles.MethodProfile` and the tiling
+    configurations), mappings, sequences, sets and callables.  Unknown
+    objects fall back to ``repr`` — stable within a process, which is the
+    cache's lifetime.
+    """
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return value
+    if isinstance(value, float):
+        # Normalise -0.0 so equal configurations freeze identically.
+        return value + 0.0
+    if isinstance(value, enum.Enum):
+        return ("enum", type(value).__name__, value.name)
+    if isinstance(value, np.ndarray):
+        contiguous = np.ascontiguousarray(value)
+        return ("ndarray", contiguous.shape, contiguous.dtype.str, contiguous.tobytes())
+    if isinstance(value, np.generic):
+        return ("npscalar", value.dtype.str, value.item())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = tuple(
+            (f.name, freeze(getattr(value, f.name))) for f in dataclasses.fields(value)
+        )
+        return ("dataclass", type(value).__name__, fields)
+    if isinstance(value, dict):
+        return ("dict", tuple((freeze(k), freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(freeze(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(map(repr, value))))
+    if callable(value):
+        return ("callable", getattr(value, "__module__", ""), getattr(value, "__qualname__", repr(value)))
+    return ("repr", repr(value))
+
+
+def config_hash(*parts: Any) -> str:
+    """Digest ``parts`` into a short git-style hex identifier.
+
+    The digest is deterministic across processes for everything
+    :func:`freeze` canonicalises structurally (numbers, strings, arrays,
+    dataclasses, containers); it is what the study API stamps into
+    :class:`~repro.study.resultset.Provenance` so two runs of the same sweep
+    on the same machine description carry the same configuration id.
+    """
+    digest = hashlib.sha1(repr(freeze(parts)).encode("utf-8")).hexdigest()
+    return digest[:HASH_LENGTH]

@@ -1,0 +1,405 @@
+"""Row-for-row equivalence of the study-based experiments with the legacy code.
+
+The harness experiments were rewritten from hand-rolled loops onto the
+declarative :mod:`repro.study` API.  These tests pin the redesign down:
+
+* each experiment must produce *exactly* the rows the original imperative
+  implementation produced (the legacy loops are reimplemented here, straight
+  from the pre-redesign code, calling the model layer directly);
+* a sweep run with ``workers > 1`` must equal the sequential run;
+* the memoization cache must demonstrably avoid recomputing repeated
+  (spec, method, isa, machine) cells;
+* any :class:`~repro.machine.MachineSpec` must be sweepable, with the core
+  counts of the scalability experiment derived from the machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines.sdsl import profile_sdsl
+from repro.cache.analytic import problem_size_for_level
+from repro.core.folding import analyze_folding
+from repro.harness.experiments import (
+    SCALABILITY_CORES,
+    SDSL_UNSUPPORTED,
+    SEQUENTIAL_METHODS,
+    STORAGE_LEVELS,
+    _sdsl_config,
+    _tiling_from_case,
+    collects_analysis,
+    figure8,
+    figure9,
+    figure10,
+    table2,
+    table3,
+)
+from repro.machine import machine_for_isa, scalability_cores
+from repro.methods import build_profile
+from repro.parallel.model import multicore_estimate, scalability_curve
+from repro.perfmodel.costmodel import estimate_performance
+from repro.registry import label_for
+from repro.stencils.library import BENCHMARKS, get_benchmark
+from repro.study import EvalCache
+
+
+# --------------------------------------------------------------------------- #
+# the pre-redesign implementations, verbatim logic
+# --------------------------------------------------------------------------- #
+def legacy_figure8_rows(isa="avx2", time_steps_values=(1000, 10000), benchmark="1d-heat"):
+    machine = machine_for_isa(isa)
+    spec = get_benchmark(benchmark).spec
+    rows = []
+    for time_steps in time_steps_values:
+        for level in STORAGE_LEVELS:
+            npoints = problem_size_for_level(machine, level, bytes_per_point=16.0)
+            for method in SEQUENTIAL_METHODS:
+                profile = build_profile(method, spec, isa, m=2)
+                est = estimate_performance(
+                    profile, npoints=npoints, time_steps=time_steps, machine=machine
+                )
+                rows.append(
+                    {
+                        "time_steps": time_steps,
+                        "level": level,
+                        "method": method,
+                        "label": label_for(method),
+                        "npoints": npoints,
+                        "gflops": est.gflops,
+                        "bound": est.bound,
+                    }
+                )
+    return rows
+
+
+def _legacy_multicore_lineup(case, isa, machine):
+    spec = case.spec
+    radius = spec.radius
+    tiling = _tiling_from_case(case, radius)
+    lineup = []
+    if case.key not in SDSL_UNSUPPORTED:
+        sdsl = profile_sdsl(
+            spec,
+            isa,
+            _sdsl_config(case, radius),
+            case.problem_size,
+            machine,
+            hybrid_blocks=tiling.block_sizes,
+        )
+        lineup.append(("sdsl", sdsl, None))
+    lineup.append(("tessellation", build_profile("data_reorg", spec, isa), tiling))
+    lineup.append(("transpose", build_profile("transpose", spec, isa), tiling))
+    lineup.append(("folded", build_profile("folded", spec, isa, m=2), tiling))
+    return lineup
+
+
+def legacy_figure9_rows(cores=36):
+    machine_avx2 = machine_for_isa("avx2")
+    machine_avx512 = machine_for_isa("avx512")
+    rows = []
+    for key, case in BENCHMARKS.items():
+        spec = case.spec
+        radius = spec.radius
+        rows_for_case = []
+        for method, profile, tiling in _legacy_multicore_lineup(case, "avx2", machine_avx2):
+            est = multicore_estimate(
+                profile,
+                grid_shape=case.problem_size,
+                time_steps=case.time_steps,
+                machine=machine_avx2,
+                cores=cores,
+                radius=radius,
+                tiling=tiling,
+            )
+            rows_for_case.append(
+                {
+                    "benchmark": case.display_name,
+                    "key": key,
+                    "method": method,
+                    "label": label_for(method),
+                    "isa": "avx2",
+                    "gflops": est.gflops,
+                }
+            )
+        tiling = _tiling_from_case(case, radius)
+        est512 = multicore_estimate(
+            build_profile("folded", spec, "avx512", m=2),
+            grid_shape=case.problem_size,
+            time_steps=case.time_steps,
+            machine=machine_avx512,
+            cores=cores,
+            radius=radius,
+            tiling=tiling,
+        )
+        rows_for_case.append(
+            {
+                "benchmark": case.display_name,
+                "key": key,
+                "method": "folded_avx512",
+                "label": "Our (2 steps, AVX-512)",
+                "isa": "avx512",
+                "gflops": est512.gflops,
+            }
+        )
+        base_gflops = rows_for_case[0]["gflops"]
+        for row in rows_for_case:
+            row["speedup"] = row["gflops"] / base_gflops
+        rows.extend(rows_for_case)
+    return rows
+
+
+def legacy_figure10_rows(cores_list, benchmarks=None):
+    machine_avx2 = machine_for_isa("avx2")
+    machine_avx512 = machine_for_isa("avx512")
+    rows = []
+    keys = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
+    for key in keys:
+        case = get_benchmark(key)
+        spec = case.spec
+        radius = spec.radius
+        tiling = _tiling_from_case(case, radius)
+        series = [
+            (method, label_for(method), profile, t, machine_avx2)
+            for method, profile, t in _legacy_multicore_lineup(case, "avx2", machine_avx2)
+        ]
+        series.append(
+            (
+                "folded_avx512",
+                "Our (2 steps, AVX-512)",
+                build_profile("folded", spec, "avx512", m=2),
+                tiling,
+                machine_avx512,
+            )
+        )
+        for method, label, profile, t, machine in series:
+            curve = scalability_curve(
+                profile,
+                grid_shape=case.problem_size,
+                time_steps=case.time_steps,
+                machine=machine,
+                cores_list=cores_list,
+                radius=radius,
+                tiling=t,
+            )
+            for cores, est in curve.items():
+                rows.append(
+                    {
+                        "benchmark": case.display_name,
+                        "key": key,
+                        "method": method,
+                        "label": label,
+                        "cores": cores,
+                        "gflops": est.gflops,
+                    }
+                )
+    return rows
+
+
+def legacy_collects_rows(m=2):
+    rows = []
+    for case in BENCHMARKS.values():
+        spec = case.spec
+        if not spec.linear:
+            continue
+        report = analyze_folding(spec, m)
+        rows.append(
+            {
+                "benchmark": case.display_name,
+                "collect_naive": report.collect_naive,
+                "collect_folded": report.collect_folded,
+                "collect_optimized": report.collect_optimized,
+                "separable": report.separable,
+                "profitability": report.profitability_optimized,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# row-for-row identity with the legacy implementations
+# --------------------------------------------------------------------------- #
+class TestLegacyEquivalence:
+    @pytest.mark.parametrize("isa", ["avx2", "avx512"])
+    def test_figure8(self, isa):
+        assert figure8(isa=isa).rows == legacy_figure8_rows(isa=isa)
+
+    def test_figure8_notes_and_defaults(self):
+        result = figure8()
+        assert result.name == "figure8"
+        assert result.notes == "stencil=1d-heat, isa=avx2"
+        assert len(result.rows) == 2 * len(STORAGE_LEVELS) * len(SEQUENTIAL_METHODS)
+
+    def test_table2(self):
+        base_rows = legacy_figure8_rows(time_steps_values=(1000,))
+        by_level = {}
+        for row in base_rows:
+            by_level.setdefault(row["level"], {})[row["method"]] = row["gflops"]
+        expected = []
+        ratios = {m: [] for m in SEQUENTIAL_METHODS}
+        for level in STORAGE_LEVELS:
+            reference = by_level[level]["multiple_loads"]
+            entry = {"level": level}
+            for method in SEQUENTIAL_METHODS:
+                entry[method] = by_level[level][method] / reference
+                ratios[method].append(entry[method])
+            expected.append(entry)
+        expected.append(
+            {"level": "Mean", **{m: float(np.mean(ratios[m])) for m in SEQUENTIAL_METHODS}}
+        )
+        assert table2().rows == expected
+
+    def test_figure9(self):
+        assert figure9().rows == legacy_figure9_rows()
+
+    def test_figure10_subset(self):
+        benchmarks = ("1d-heat", "apop", "3d27p")
+        cores_list = (1, 8, 36)
+        result = figure10(cores_list=cores_list, benchmarks=benchmarks)
+        assert result.rows == legacy_figure10_rows(cores_list, benchmarks)
+
+    def test_figure10_default_cores_match_paper_sweep(self):
+        assert SCALABILITY_CORES == (1, 2, 4, 8, 12, 18, 24, 30, 36)
+        result = figure10(benchmarks=("1d-heat",))
+        cores = [r["cores"] for r in result.rows if r["method"] == "folded"]
+        assert cores == list(SCALABILITY_CORES)
+
+    def test_table3_subset(self):
+        benchmarks = ("1d-heat", "gb")
+        rows = legacy_figure10_rows((1, 36), benchmarks)
+        result = table3(benchmarks=benchmarks)
+        methods = ["sdsl", "tessellation", "transpose", "folded", "folded_avx512"]
+        assert [r["method"] for r in result.rows] == [
+            label_for(m, default=m) for m in methods
+        ]
+        for method, row in zip(methods, result.rows):
+            for key in benchmarks:
+                case = get_benchmark(key)
+                matching = {
+                    r["cores"]: r["gflops"]
+                    for r in rows
+                    if r["key"] == key and r["method"] == method
+                }
+                if not matching:
+                    assert row[case.display_name] is None
+                else:
+                    assert row[case.display_name] == matching[36] / matching[1]
+
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_collects(self, m):
+        assert collects_analysis(m=m).rows == legacy_collects_rows(m=m)
+
+
+# --------------------------------------------------------------------------- #
+# parallel execution parity and memoization
+# --------------------------------------------------------------------------- #
+class TestParallelAndCaching:
+    def test_figure8_parallel_equals_sequential(self):
+        assert figure8(workers=4).rows == figure8().rows
+
+    def test_figure9_parallel_equals_sequential(self):
+        assert figure9(workers=6).rows == figure9().rows
+
+    def test_figure10_parallel_equals_sequential(self):
+        kwargs = dict(benchmarks=("2d9p", "game-of-life"), cores_list=(1, 18, 36))
+        assert figure10(workers=8, **kwargs).rows == figure10(**kwargs).rows
+
+    def test_figure10_memoizes_profiles_across_core_counts(self):
+        cache = EvalCache()
+        figure10(benchmarks=("2d9p",), cores_list=(1, 2, 4, 8), machine=None, cache=cache)
+        stats = cache.stats
+        # 5 series × 4 core counts = 20 cells, but only 5 profiles (one per
+        # series) are ever built; the rest of the misses are the 20 distinct
+        # multicore estimates.
+        assert stats.misses == 5 + 20
+        assert stats.hits == 15  # profile reuse across the other core counts
+
+    def test_shared_cache_across_experiments_avoids_recompute(self):
+        cache = EvalCache()
+        first = figure8(cache=cache)
+        baseline = cache.stats
+        second = figure8(cache=cache)
+        assert second.rows == first.rows
+        after = cache.stats
+        assert after.misses == baseline.misses  # nothing recomputed
+        assert after.hits > baseline.hits
+
+    def test_table2_replays_figure8_cells(self):
+        cache = EvalCache()
+        figure8(time_steps_values=(1000,), cache=cache)
+        misses_before = cache.stats.misses
+        table2(cache=cache)
+        assert cache.stats.misses == misses_before
+
+
+# --------------------------------------------------------------------------- #
+# machine generalisation
+# --------------------------------------------------------------------------- #
+def _small_machine():
+    base = machine_for_isa("avx2")
+    return dataclasses.replace(
+        base, name="Mini (AVX-2)", cores_per_socket=4, sockets=2
+    )
+
+
+class TestCustomMachine:
+    def test_figure8_respects_custom_cache_hierarchy(self):
+        small = dataclasses.replace(
+            _small_machine(),
+            caches=tuple(
+                dataclasses.replace(lvl, capacity_bytes=lvl.capacity_bytes // 2)
+                for lvl in machine_for_isa("avx2").caches
+            ),
+        )
+        default = figure8()
+        custom = figure8(machine=small)
+        assert len(custom.rows) == len(default.rows)
+        # Problem sizes derive from the machine's own cache capacities.
+        for row_default, row_custom in zip(default.rows, custom.rows):
+            if row_default["level"] != "Memory":
+                assert row_custom["npoints"] == row_default["npoints"] // 2
+
+    def test_figure10_derives_core_sweep_from_machine(self):
+        small = _small_machine()
+        result = figure10(benchmarks=("1d-heat",), machine=small)
+        cores = sorted({r["cores"] for r in result.rows})
+        assert cores == list(scalability_cores(small))
+        assert max(cores) == small.total_cores == 8
+
+    def test_figure9_runs_both_isa_variants_of_custom_machine(self):
+        small = _small_machine()
+        result = figure9(machine=small)
+        assert {r["isa"] for r in result.rows} == {"avx2", "avx512"}
+        assert len({r["benchmark"] for r in result.rows}) == 9
+
+    def test_custom_machine_spec_identity_round_trips(self):
+        from repro.harness.experiments import _multicore_machines
+        from repro.machine import isa_variant
+
+        small512 = isa_variant(_small_machine(), "avx512")
+        avx2, avx512 = _multicore_machines(small512)
+        # The caller's own variant is kept verbatim (cache keys, provenance).
+        assert avx512 == small512
+        # Repeated derivation never stacks name suffixes.
+        assert isa_variant(avx2, "avx512") == avx512
+        assert "[avx2] [avx512]" not in isa_variant(avx2, "avx512").name
+
+    def test_empty_selections_yield_empty_results(self):
+        assert figure10(benchmarks=()).rows == []
+        assert figure10(cores_list=()).rows == []
+        assert figure8(time_steps_values=()).rows == []
+        assert [r["method"] for r in table3(benchmarks=()).rows] == [
+            "SDSL", "Tessellation", "Our", "Our (2 steps)", "folded_avx512",
+        ]
+
+    def test_table3_on_custom_machine_is_physical(self):
+        small = _small_machine()
+        result = table3(machine=small)
+        assert "8 cores" in result.description
+        for row in result.rows:
+            for key, value in row.items():
+                if key == "method" or value is None:
+                    continue
+                assert 1.0 <= value <= 8.0

@@ -1,0 +1,108 @@
+"""`CompiledPlan.explain()` / `.estimate()` across every registered method.
+
+The plan API's analysis surface was previously only exercised for the
+folded path; this module sweeps the whole registry — executable methods,
+profile-only baselines and virtual figure labels — on linear, non-linear
+and multi-dimensional stencils.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.machine import machine_for_isa
+from repro.perfmodel.costmodel import PerformanceEstimate
+from repro.registry import get_method, registered_keys
+from repro.stencils.library import get_benchmark
+
+#: Every registry key, split by compilability.
+ALL_KEYS = registered_keys()
+COMPILABLE_KEYS = tuple(
+    key
+    for key in ALL_KEYS
+    if not get_method(key).virtual and not get_method(key).profile_only
+)
+UNCOMPILABLE_KEYS = tuple(key for key in ALL_KEYS if key not in COMPILABLE_KEYS)
+
+
+def _compile(key: str, benchmark: str = "1d-heat", isa: str = "avx2"):
+    return repro.plan(get_benchmark(benchmark).spec).method(key).isa(isa).unroll(2).compile()
+
+
+class TestExplainAllMethods:
+    @pytest.mark.parametrize("key", COMPILABLE_KEYS)
+    @pytest.mark.parametrize("isa", ["avx2", "avx512"])
+    def test_explain_mentions_method_and_isa(self, key, isa):
+        plan = _compile(key, isa=isa)
+        text = plan.explain()
+        assert f"method         : {key}" in text
+        assert f"isa            : {isa}" in text
+        assert "execution path" in text
+
+    @pytest.mark.parametrize("key", COMPILABLE_KEYS)
+    def test_explain_reports_profile_presence(self, key):
+        text = _compile(key).explain()
+        if get_method(key).profile_builder is None:
+            assert "no vectorization model" in text
+        else:
+            assert "vector instr/point" in text
+
+    @pytest.mark.parametrize("key", COMPILABLE_KEYS)
+    def test_explain_on_multidimensional_stencil(self, key):
+        text = _compile(key, benchmark="2d9p").explain()
+        assert "2-D" in text
+        assert "profitability" in text  # linear stencil → folding analysis line
+
+    @pytest.mark.parametrize("key", ["transpose", "folded", "reference"])
+    def test_explain_on_nonlinear_stencil(self, key):
+        descriptor = get_method(key)
+        plan = (
+            repro.plan(get_benchmark("game-of-life").spec).method(key).unroll(2).compile()
+        )
+        text = plan.explain()
+        assert "non-linear" in text
+        assert "profitability" not in text
+        if descriptor.uses_schedule:
+            # Non-linear stencils cannot build a folding schedule.
+            assert "schedule" not in text.split("execution path")[0]
+
+    @pytest.mark.parametrize("key", UNCOMPILABLE_KEYS)
+    def test_uncompilable_keys_refuse_compilation(self, key):
+        with pytest.raises(KeyError):
+            _compile(key)
+
+
+class TestEstimateAllMethods:
+    @pytest.mark.parametrize("key", COMPILABLE_KEYS)
+    @pytest.mark.parametrize("isa", ["avx2", "avx512"])
+    def test_estimate_single_core(self, key, isa):
+        plan = _compile(key, isa=isa)
+        if get_method(key).profile_builder is None:
+            with pytest.raises(ValueError, match="no steady-state instruction profile"):
+                plan.estimate((1 << 20,), 1000)
+            return
+        est = plan.estimate((1 << 20,), 1000)
+        assert isinstance(est, PerformanceEstimate)
+        assert est.gflops > 0
+        # Bound is either compute or the limiting storage level.
+        assert est.bound in ("compute", "memory", "L1", "L2", "L3", "Memory")
+
+    @pytest.mark.parametrize("key", [k for k in COMPILABLE_KEYS if get_method(k).profile_builder])
+    def test_estimate_multicore_never_slower_than_half_single(self, key):
+        plan = _compile(key, benchmark="2d9p")
+        single = plan.estimate((2048, 2048), 100, cores=1)
+        multi = plan.estimate((2048, 2048), 100, cores=8)
+        assert multi.gflops > single.gflops
+
+    @pytest.mark.parametrize("key", [k for k in COMPILABLE_KEYS if get_method(k).profile_builder])
+    def test_estimate_accepts_custom_machine(self, key):
+        plan = _compile(key)
+        est = plan.estimate((1 << 18,), 100, machine=machine_for_isa("avx2"))
+        assert est.gflops > 0
+
+    def test_estimate_avx512_uses_avx512_machine_by_default(self):
+        plan = _compile("folded", isa="avx512")
+        est = plan.estimate((1 << 16,), 1000)
+        avx2 = _compile("folded", isa="avx2").estimate((1 << 16,), 1000)
+        assert est.gflops != avx2.gflops

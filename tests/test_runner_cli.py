@@ -1,0 +1,90 @@
+"""The experiment runner: registry semantics, dedupe, CLI flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.runner import EXPERIMENTS, main, run_all, run_experiment
+from repro.study import EvalCache
+
+
+class TestRunExperiment:
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="figure8"):
+            run_experiment("figure99")
+
+    def test_name_is_normalised(self):
+        result = run_experiment("  Table2 ")
+        assert result.name == "table2"
+
+    def test_kwargs_filtered_per_signature(self):
+        # figure9 does not take `isa` or `benchmark`; they must be dropped
+        # rather than raising TypeError.
+        result = run_experiment("figure9", isa="avx512", benchmark="2d9p", cores=4)
+        assert result.notes == "cores=4"
+
+    def test_none_valued_kwargs_keep_defaults(self):
+        result = run_experiment("figure8", isa=None, workers=None)
+        assert result.notes == "stencil=1d-heat, isa=avx2"
+
+
+class TestRunAll:
+    def test_duplicates_run_once_with_warning(self):
+        with pytest.warns(UserWarning, match="duplicate experiment 'table2'"):
+            results = run_all(["table2", "collects", "table2"])
+        assert [r.name for r in results] == ["table2", "collects"]
+
+    def test_duplicate_detection_is_case_insensitive(self):
+        with pytest.warns(UserWarning, match="duplicate"):
+            results = run_all(["collects", "COLLECTS"])
+        assert len(results) == 1
+
+    def test_order_preserved(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            results = run_all(["collects", "table2", "collects", "figure8"])
+        assert [r.name for r in results] == ["collects", "table2", "figure8"]
+
+    def test_shared_cache_forwarded(self):
+        cache = EvalCache()
+        run_all(["figure8", "table2"], cache=cache)
+        # table2 replays figure8's 1000-step cells: all of them must hit.
+        assert cache.stats.hits > 0
+
+
+class TestCli:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == list(EXPERIMENTS)
+
+    def test_text_output(self, capsys):
+        assert main(["collects"]) == 0
+        out = capsys.readouterr().out
+        assert "== collects" in out
+        assert "profitability" in out
+
+    def test_json_output(self, capsys):
+        assert main(["table2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in payload] == ["table2"]
+        assert payload[0]["rows"][-1]["level"] == "Mean"
+
+    def test_sweep_flags_reach_the_experiments(self, capsys):
+        assert main(["figure8", "--isa", "avx512", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "isa=avx512" in payload[0]["notes"]
+
+    def test_benchmarks_flag(self, capsys):
+        assert main(["figure10", "--benchmarks", "1d-heat,2d9p", "--json", "--workers", "4"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        keys = {row["key"] for row in payload[0]["rows"]}
+        assert keys == {"1d-heat", "2d9p"}
+
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
