@@ -1,0 +1,110 @@
+"""Simulation-speed benchmark: trace replay vs the interpreted simulator.
+
+Times ``CompiledPlan.simulate()`` under both backends on a 1-D and a 2-D
+grid, asserts the acceptance bar (trace replay ≥ 10× faster on a 2-D
+256×256 grid over 8 steps with bit-identical values and identical
+instruction counts) and emits ``BENCH_simulation.json`` at the repository
+root so the perf trajectory of future PRs can be compared against this one.
+CI runs this module with ``--benchmark-json`` and uploads both artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from benchmarks.conftest import run_once
+from repro.simd.machine import SimdMachine
+from repro.stencils.grid import Grid
+
+ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_simulation.json"
+
+#: Acceptance bar for the 2-D case (the asserted floor, not the typical
+#: speedup, which is two orders of magnitude larger).
+MIN_SPEEDUP_2D = 10.0
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    """Collects per-case results and writes BENCH_simulation.json on teardown."""
+    results = {}
+    yield results
+    payload = {
+        "benchmark": "simulation-speed",
+        "unit": "seconds",
+        "cases": results,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _time_backends(plan, grid, steps):
+    """Run both backends, check exact agreement, return timings + outputs."""
+    machine_t = SimdMachine(plan.isa_spec)
+    # Warm-up builds (and caches) the compiled trace so the timed section
+    # measures steady-state replay, the regime simulate() lives in.
+    plan.simulate(grid, steps, backend="trace")
+    t0 = time.perf_counter()
+    out_trace, _ = plan.simulate(grid, steps, machine=machine_t, backend="trace")
+    trace_s = time.perf_counter() - t0
+
+    machine_i = SimdMachine(plan.isa_spec)
+    t0 = time.perf_counter()
+    out_interp, _ = plan.simulate(grid, steps, machine=machine_i, backend="interpret")
+    interp_s = time.perf_counter() - t0
+
+    np.testing.assert_array_equal(out_trace, out_interp)
+    assert machine_t.counts.counts == machine_i.counts.counts
+    assert machine_t.peak_live_registers == machine_i.peak_live_registers
+    assert machine_t.spill_count == machine_i.spill_count
+    return trace_s, interp_s, machine_t.counts.total
+
+
+@pytest.mark.benchmark(group="simulation-speed")
+def test_simulation_speed_1d(benchmark, artifact):
+    """1-D heat, 32768 points (2048 vector sets), 8 steps, m=2, AVX-2."""
+    p = repro.plan("1d-heat").method("folded").unroll(2).isa("avx2").compile()
+    grid = Grid.random((1 << 15,), seed=0)
+    trace_s, interp_s, total_instr = _time_backends(p, grid, steps=8)
+    run_once(benchmark, p.simulate, grid, 8)
+    speedup = interp_s / trace_s
+    artifact["1d-heat-32768x8"] = {
+        "grid": list(grid.values.shape),
+        "steps": 8,
+        "trace_seconds": trace_s,
+        "interpret_seconds": interp_s,
+        "speedup": speedup,
+        "simulated_instructions": total_instr,
+    }
+    print(
+        f"\n1-D 32768x8: interpret {interp_s:.3f}s, trace {trace_s:.4f}s "
+        f"-> {speedup:.0f}x"
+    )
+    assert speedup >= MIN_SPEEDUP_2D
+
+
+@pytest.mark.benchmark(group="simulation-speed")
+def test_simulation_speed_2d(benchmark, artifact):
+    """Acceptance: 2D9P on a 256×256 grid, 8 steps, m=2 — trace ≥ 10× faster."""
+    p = repro.plan("2d9p").method("folded").unroll(2).isa("avx2").compile()
+    grid = Grid.random((256, 256), seed=0)
+    trace_s, interp_s, total_instr = _time_backends(p, grid, steps=8)
+    run_once(benchmark, p.simulate, grid, 8)
+    speedup = interp_s / trace_s
+    artifact["2d9p-256x256x8"] = {
+        "grid": list(grid.values.shape),
+        "steps": 8,
+        "trace_seconds": trace_s,
+        "interpret_seconds": interp_s,
+        "speedup": speedup,
+        "simulated_instructions": total_instr,
+    }
+    print(
+        f"\n2-D 256x256x8: interpret {interp_s:.3f}s, trace {trace_s:.4f}s "
+        f"-> {speedup:.0f}x"
+    )
+    assert speedup >= MIN_SPEEDUP_2D

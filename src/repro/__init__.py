@@ -26,6 +26,13 @@ Methods are looked up in a pluggable registry
 :class:`~repro.core.engine.StencilEngine` remains as a deprecated wrapper
 over the plan API.
 
+Simulated execution (:meth:`~repro.core.plan.CompiledPlan.simulate`) defaults
+to the trace-replay backend of :mod:`repro.trace`: the register-level
+schedule is recorded once, compiled into a batched NumPy program and replayed
+over all block positions per sweep — bit-identical to the instruction-level
+interpreter (``backend="interpret"``) and typically orders of magnitude
+faster.
+
 Parameter sweeps are first-class: :func:`repro.study` declares an
 experiment grid (method × stencil × ISA × core count × ...), expands the
 cross-product, memoizes the profile/estimate pipeline, optionally fans the
@@ -73,8 +80,9 @@ from repro.stencils.library import BENCHMARKS, BenchmarkCase, get_benchmark
 from repro.stencils.reference import reference_run, reference_step
 from repro.tiling.tessellate import TessellationConfig, tessellate_run
 from repro.perfmodel.costmodel import estimate_performance, PerformanceEstimate
+from repro.trace import CompiledSweep1D, CompiledSweep2D, TraceRecorder, compile_sweep
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "MachineSpec",
@@ -115,5 +123,9 @@ __all__ = [
     "tessellate_run",
     "estimate_performance",
     "PerformanceEstimate",
+    "CompiledSweep1D",
+    "CompiledSweep2D",
+    "TraceRecorder",
+    "compile_sweep",
     "__version__",
 ]

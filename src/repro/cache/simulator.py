@@ -11,9 +11,13 @@ simulator.  It is used on *small* grids to:
 
 Addresses are plain byte addresses; callers map array indices to addresses
 with :meth:`CacheHierarchySimulator.touch_array` or by doing their own
-``base + 8 * index`` arithmetic.  Python-level simulation costs make it
-unsuitable for the paper-scale grids — that is what the analytic model is
-for.
+``base + 8 * index`` arithmetic.  Long address streams should go through the
+vectorized front end (:meth:`CacheHierarchySimulator.access_stream`, which
+:meth:`~CacheHierarchySimulator.touch_array` uses): line/set indices are
+computed with NumPy and consecutive same-line accesses are run-length
+collapsed before the per-set LRU loop, with the per-access
+:meth:`~CacheHierarchySimulator.access` path kept as the exact oracle.
+Truly paper-scale traffic questions remain the analytic model's job.
 """
 
 from __future__ import annotations
@@ -97,6 +101,23 @@ class _SetAssociativeCache:
         """Drop every line (used between independent experiment phases)."""
         for ways in self._sets:
             ways.clear()
+
+    def credit_resident_hits(self, line_addr: int, hits: int, any_write: bool) -> None:
+        """Account ``hits`` guaranteed hits on the just-accessed ``line_addr``.
+
+        Used by the vectorized front end after run-length-collapsing a burst
+        of consecutive accesses to one line: the first access went through
+        :meth:`access` (so the line is resident and most-recently-used) and
+        the remaining ``hits`` accesses can only hit.  ``any_write`` ORs the
+        collapsed accesses' write flags into the dirty bit, exactly as the
+        per-access loop would have.
+        """
+        set_index, tag = self._locate(line_addr)
+        ways = self._sets[set_index]
+        self.stats.hits += hits
+        if any_write:
+            # Assigning an existing key keeps its (already MRU) position.
+            ways[tag] = True
 
 
 class CacheHierarchySimulator:
@@ -188,9 +209,85 @@ class CacheHierarchySimulator:
         itemsize: int = 8,
         is_write: bool = False,
     ) -> None:
-        """Access ``base_addr + itemsize * i`` for every ``i`` in ``indices``."""
-        for i in indices:
-            self.access(base_addr + itemsize * int(i), itemsize, is_write)
+        """Access ``base_addr + itemsize * i`` for every ``i`` in ``indices``.
+
+        ``indices`` may be any iterable of integers or a NumPy index array;
+        the address arithmetic is vectorized and the accesses are routed
+        through :meth:`access_stream`, so no per-element Python loop runs.
+        The resulting statistics are exactly those of calling :meth:`access`
+        per element.
+        """
+        if isinstance(indices, np.ndarray):
+            idx = indices.astype(np.int64, copy=False).ravel()
+        else:
+            idx = np.fromiter(indices, dtype=np.int64)
+        self.access_stream(base_addr + itemsize * idx, size=itemsize, is_write=is_write)
+
+    def access_stream(
+        self,
+        byte_addrs: np.ndarray,
+        size: int = 8,
+        is_write=False,
+    ) -> None:
+        """Access a whole address stream with vectorized front-end arithmetic.
+
+        Exactly equivalent to ``for a, w in zip(byte_addrs, is_write):
+        self.access(a, size, w)`` but orders of magnitude faster on long
+        streams: line and set indices are computed with NumPy, consecutive
+        accesses to the same cache line are run-length-collapsed (the
+        trailing accesses of a run are guaranteed hits on a resident,
+        most-recently-used line), and only the deduplicated stream enters the
+        per-set LRU loop.  The per-access :meth:`access` path is kept
+        unchanged as the oracle this fast path is tested against.
+
+        Parameters
+        ----------
+        byte_addrs:
+            Integer array (any shape; flattened in C order) of byte
+            addresses.
+        size:
+            Bytes accessed per address; accesses crossing a line boundary
+            touch each line in ascending order, like :meth:`access`.
+        is_write:
+            A single flag for the whole stream, or a boolean array matching
+            ``byte_addrs``.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        addr_array = np.asarray(byte_addrs, dtype=np.int64)
+        if addr_array.size == 0:
+            return
+        writes = np.broadcast_to(np.asarray(is_write, dtype=bool), addr_array.shape).ravel()
+        addrs = addr_array.ravel()
+        line = self.line_bytes
+        first_line = addrs // line
+        last_line = (addrs + size - 1) // line
+        span = last_line - first_line + 1
+        if span.max() == 1:
+            lines = first_line
+        else:
+            # Expand multi-line accesses into one entry per touched line,
+            # preserving the ascending within-access order of access().
+            total = int(span.sum())
+            offsets = np.arange(total) - np.repeat(np.cumsum(span) - span, span)
+            lines = np.repeat(first_line, span) + offsets
+            writes = np.repeat(writes, span)
+        # Run-length collapse of consecutive same-line accesses.
+        boundary = np.empty(lines.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        run_lines = lines[starts]
+        run_counts = np.diff(np.append(starts, lines.size))
+        first_writes = writes[starts]
+        any_writes = np.logical_or.reduceat(writes, starts)
+        l1 = self._levels[0]
+        for line_addr, count, w0, any_w in zip(
+            run_lines.tolist(), run_counts.tolist(), first_writes.tolist(), any_writes.tolist()
+        ):
+            self._access_line(line_addr, w0)
+            if count > 1:
+                l1.credit_resident_hits(line_addr, count - 1, any_w and not w0)
 
     def sweep_array(
         self,

@@ -139,14 +139,19 @@ class StencilEngine:
     # simulated execution
     # ------------------------------------------------------------------ #
     def run_simulated(
-        self, grid: Grid, steps: int, machine: Optional[SimdMachine] = None
+        self,
+        grid: Grid,
+        steps: int,
+        machine: Optional[SimdMachine] = None,
+        backend: str = "trace",
     ) -> Tuple[np.ndarray, InstructionCounts]:
         """Execute the register-level schedule on the simulated SIMD machine.
 
         Delegates to :meth:`repro.core.plan.CompiledPlan.simulate`, which
-        reuses the folding schedule cached at compile time.
+        reuses the folding schedule cached at compile time and, with the
+        default ``backend="trace"``, the trace-compiled sweep as well.
         """
-        return self._plan.simulate(grid, steps, machine=machine)
+        return self._plan.simulate(grid, steps, machine=machine, backend=backend)
 
     # ------------------------------------------------------------------ #
     # analysis

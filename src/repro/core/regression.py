@@ -24,12 +24,35 @@ plan reproduces ``ω₂ = (2)`` and ``ω₃ = (0, 3)``.
 from __future__ import annotations
 
 import itertools
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 _REL_TOL = 1e-9
+
+#: Memoized plans keyed by the folding-matrix content and search settings.
+#: Every ``FoldingSchedule(spec, m)`` maps to one folding matrix, so this is
+#: effectively a per-``(spec, m)`` cache: repeated plan compiles (parameter
+#: sweeps, studies, batch set-up) stop re-deriving the regression search.
+#: Bounded LRU; guarded by a lock so concurrent compiles stay safe.
+_PLAN_CACHE: "OrderedDict[Tuple, CounterpartPlan]" = OrderedDict()
+_PLAN_CACHE_LOCK = threading.Lock()
+_PLAN_CACHE_MAX = 256
+
+
+def clear_counterpart_cache() -> None:
+    """Drop all memoized counterpart plans (test isolation hook)."""
+    with _PLAN_CACHE_LOCK:
+        _PLAN_CACHE.clear()
+
+
+def counterpart_cache_info() -> Tuple[int, int]:
+    """Return ``(entries, capacity)`` of the counterpart-plan cache."""
+    with _PLAN_CACHE_LOCK:
+        return len(_PLAN_CACHE), _PLAN_CACHE_MAX
 
 
 @dataclass(frozen=True)
@@ -181,9 +204,29 @@ def plan_counterparts(
     CounterpartPlan
         Steps ordered so that the widest (most informative) counterpart is
         computed first — mirroring the paper, where ``c₁`` is the base the
-        others reuse — plus the resulting minimised collect.
+        others reuse — plus the resulting minimised collect.  Plans are
+        memoized by matrix content (see :func:`clear_counterpart_cache`);
+        the returned object and its arrays must be treated as read-only.
     """
     matrix = np.asarray(matrix, dtype=np.float64)
+    key = (matrix.shape, matrix.tobytes(), float(rtol), int(max_terms))
+    with _PLAN_CACHE_LOCK:
+        cached = _PLAN_CACHE.get(key)
+        if cached is not None:
+            _PLAN_CACHE.move_to_end(key)
+            return cached
+    plan = _plan_counterparts_uncached(matrix, rtol, max_terms)
+    with _PLAN_CACHE_LOCK:
+        _PLAN_CACHE[key] = plan
+        _PLAN_CACHE.move_to_end(key)
+        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def _plan_counterparts_uncached(
+    matrix: np.ndarray, rtol: float, max_terms: int
+) -> CounterpartPlan:
     groups = _unique_columns(matrix, rtol)
     if not groups:
         raise ValueError("folding matrix has no non-zero column")
@@ -238,4 +281,9 @@ def plan_counterparts(
     positions_total = sum(len(s.positions) for s in steps)
     horizontal_cost = max(0, positions_total - 1)
     total = int(sum(s.cost for s in steps) + horizontal_cost)
+    for step in steps:
+        # Cached plans are shared between schedules: freeze the arrays so an
+        # accidental in-place edit cannot poison later cache hits.
+        step.vector.setflags(write=False)
+        step.bias.setflags(write=False)
     return CounterpartPlan(steps=tuple(steps), horizontal_cost=horizontal_cost, total_collect=total)

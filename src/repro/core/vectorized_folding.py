@@ -23,6 +23,16 @@ folded update of a linear stencil:
 
 * an analytic per-point instruction profile used by the performance model.
 
+Both SIMD sweeps are built from per-block pipeline pieces
+(:meth:`FoldingSchedule._sweep_1d_block`,
+:meth:`FoldingSchedule._sweep_2d_vertical`, ...) that take the target machine
+plus abstract ``load``/``store`` callables.  The interpreted sweeps bind them
+to concrete :class:`~repro.simd.machine.SimdMachine` memory operations; the
+trace compiler in :mod:`repro.trace` runs the very same pieces once against a
+recording proxy to capture the per-block instruction trace it replays in
+bulk.  Because both backends execute the same schedule code, they cannot
+drift apart.
+
 ``m = 1`` degenerates to the paper's Section 2 scheme (no temporal folding,
 just the transpose-layout vectorisation), so the same class also serves as
 "our method" without time folding.
@@ -68,6 +78,31 @@ class MaterializedCounterpart:
     mode: str
     omega: Dict[int, float]
     bias: np.ndarray
+
+
+@dataclass
+class SquareWeights:
+    """Broadcast weight registers of the 2-D square pipeline (the prologue).
+
+    Attributes
+    ----------
+    row:
+        Per materialised counterpart, the broadcast vertical-fold weights.
+    bias:
+        Per materialised counterpart, the broadcast bias weights (``None``
+        when the counterpart has no bias).
+    omega:
+        Per materialised counterpart, broadcast reuse coefficients keyed by
+        the materialised index they apply to.
+    horiz:
+        Per relative innermost position, ``(materialised index, broadcast
+        weight)`` or ``None`` for unused positions.
+    """
+
+    row: List[List]
+    bias: List[Optional[List]]
+    omega: List[Dict[int, object]]
+    horiz: List[Optional[Tuple[int, object]]]
 
 
 class FoldingSchedule:
@@ -263,37 +298,56 @@ class FoldingSchedule:
         if out_t is None:
             out_t = np.empty_like(values_t)
         nsets = n // block
-        weights = [float(w) for w in self.matrix]
-        weight_vecs = [machine.broadcast(w) for w in weights]
+        weight_vecs = self._sweep_1d_weight_vectors(machine)
 
-        def load_set(set_idx: int):
-            base = (set_idx % nsets) * block
-            return [machine.load(values_t, base + j * vl) for j in range(vl)]
+        for s in range(nsets):
+            base = s * block
 
-        def load_partial(set_idx: int, needed: Sequence[int]):
+            def load(delta: int, j: int, _s: int = s):
+                return machine.load(values_t, ((_s + delta) % nsets) * block + j * vl)
+
+            def store(j: int, vec, _base: int = base) -> None:
+                machine.store(vec, out_t, _base + j * vl)
+
+            self._sweep_1d_block(machine, weight_vecs, load, store)
+        return out_t
+
+    def _sweep_1d_weight_vectors(self, machine: SimdMachine) -> List:
+        """Broadcast the folded kernel weights (the 1-D sweep prologue)."""
+        return [machine.broadcast(float(w)) for w in self.matrix]
+
+    def _sweep_1d_block(self, machine: SimdMachine, weight_vecs: Sequence, load, store) -> None:
+        """Update one vector set given abstract memory operations.
+
+        ``load(delta, j)`` must return register ``j`` of the vector set at
+        ``delta`` ∈ {-1, 0, +1} sets from the current one; ``store(j, vec)``
+        must store register ``j`` of the result set.  The interpreted sweep
+        binds these to real machine loads/stores; the trace recorder binds
+        them to tagged virtual registers.
+        """
+        vl = machine.vl
+        radius = self.radius
+
+        def load_partial(delta: int, needed: Sequence[int]):
             """Load only the registers of a neighbouring set that assembly uses."""
-            base = (set_idx % nsets) * block
             out_regs: List = [None] * vl
             for j in needed:
-                out_regs[j] = machine.load(values_t, base + j * vl)
+                out_regs[j] = load(delta, j)
             return out_regs
 
         prev_needed = sorted({(vl - k) % vl for k in range(1, radius + 1)})
         next_needed = sorted({k - 1 for k in range(1, radius + 1)})
-        for s in range(nsets):
-            current = load_set(s)
-            previous = load_partial(s - 1, prev_needed)
-            nxt = load_partial(s + 1, next_needed)
-            cols = neighbor_vectors_1d(machine, current, previous, nxt, radius)
-            machine.note_live_registers(len(cols) + len(weight_vecs) + 1)
-            base = s * block
-            for j in range(vl):
-                window = cols[j : j + 2 * radius + 1]
-                acc = machine.mul(window[0], weight_vecs[0])
-                for t in range(1, len(window)):
-                    acc = machine.fma(window[t], weight_vecs[t], acc)
-                machine.store(acc, out_t, base + j * vl)
-        return out_t
+        current = [load(0, j) for j in range(vl)]
+        previous = load_partial(-1, prev_needed)
+        nxt = load_partial(+1, next_needed)
+        cols = neighbor_vectors_1d(machine, current, previous, nxt, radius)
+        machine.note_live_registers(len(cols) + len(weight_vecs) + 1)
+        for j in range(vl):
+            window = cols[j : j + 2 * radius + 1]
+            acc = machine.mul(window[0], weight_vecs[0])
+            for t in range(1, len(window)):
+                acc = machine.fma(window[t], weight_vecs[t], acc)
+            store(j, acc)
 
     # ------------------------------------------------------------------ #
     # simulated SIMD execution: 2-D (Figure 5 squares)
@@ -343,100 +397,30 @@ class FoldingSchedule:
 
         n_row_blocks = rows // vl
         n_col_blocks = cols // vl
-        row_weights = [
-            [machine.broadcast(float(w)) for w in cp.vector] for cp in self.materialized
-        ]
-        bias_weights = [
-            [machine.broadcast(float(w)) for w in cp.bias] if np.any(cp.bias) else None
-            for cp in self.materialized
-        ]
-        omega_weights = [
-            {idx: machine.broadcast(float(w)) for idx, w in cp.omega.items()}
-            for cp in self.materialized
-        ]
-        horiz_weights = [
-            None if entry is None else (entry[0], machine.broadcast(float(entry[1])))
-            for entry in self.position_map
-        ]
-
-        def load_rows(block_row: int, block_col: int) -> List:
-            """Load the vl + 2R row vectors feeding one square's vertical folds."""
-            base_row = block_row * vl
-            col0 = block_col * vl
-            loaded = []
-            for s in range(-radius, vl + radius):
-                r = (base_row + s) % rows
-                loaded.append(machine.load(values[r], col0))
-            return loaded
+        weights = self._sweep_2d_weight_vectors(machine)
 
         def vertical_and_transpose(block_row: int, block_col: int) -> List[List]:
-            """Vertical folds of one square, transposed, per materialised counterpart."""
-            loaded = load_rows(block_row, block_col)
-            machine.note_live_registers(len(loaded) + vl + len(self.materialized) * vl)
-            per_cp: List[List] = []
-            for ci, cp in enumerate(self.materialized):
-                folded_rows = []
-                for oi in range(vl):
-                    if cp.mode == "direct":
-                        window = loaded[oi : oi + 2 * radius + 1]
-                        acc = machine.mul(window[0], row_weights[ci][0])
-                        for t in range(1, len(window)):
-                            acc = machine.fma(window[t], row_weights[ci][t], acc)
-                    else:
-                        acc = None
-                        for idx, wvec in omega_weights[ci].items():
-                            term = machine.mul(per_cp[idx][oi], wvec)
-                            acc = term if acc is None else machine.add(acc, term)
-                        if bias_weights[ci] is not None:
-                            window = loaded[oi : oi + 2 * radius + 1]
-                            for t in range(len(window)):
-                                if float(cp.bias[t]) != 0.0:
-                                    if acc is None:
-                                        acc = machine.mul(window[t], bias_weights[ci][t])
-                                    else:
-                                        acc = machine.fma(window[t], bias_weights[ci][t], acc)
-                        if acc is None:
-                            acc = machine.broadcast(0.0)
-                    folded_rows.append(acc)
-                per_cp.append(register_transpose(machine, folded_rows))
-            return per_cp
+            base_row = block_row * vl
+            col0 = block_col * vl
+
+            def load_row(s: int):
+                return machine.load(values[(base_row + s) % rows], col0)
+
+            return self._sweep_2d_vertical(machine, weights, load_row)
 
         for br in range(n_row_blocks):
             prev_t = vertical_and_transpose(br, n_col_blocks - 1)
             cur_t = vertical_and_transpose(br, 0)
             for bc in range(n_col_blocks):
                 next_t = vertical_and_transpose(br, (bc + 1) % n_col_blocks)
-                # Horizontal folding: output column k uses transposed columns
-                # k - R .. k + R drawn from the previous / current / next
-                # squares' transposed counterparts (shifts reuse).
-                out_cols = []
-                for k in range(vl):
-                    acc = None
-                    for pos, entry in enumerate(horiz_weights):
-                        if entry is None:
-                            continue
-                        mat_idx, wvec = entry
-                        col = k + (pos - radius)
-                        if col < 0:
-                            source = prev_t[mat_idx][vl + col]
-                        elif col >= vl:
-                            source = next_t[mat_idx][col - vl]
-                        else:
-                            source = cur_t[mat_idx][col]
-                        if acc is None:
-                            acc = machine.mul(source, wvec)
-                        else:
-                            acc = machine.fma(source, wvec, acc)
-                    out_cols.append(acc)
+                out_cols = self._sweep_2d_horizontal(machine, weights, prev_t, cur_t, next_t)
                 base_row = br * vl
                 col0 = bc * vl
-                if transpose_back:
-                    out_rows = register_transpose(machine, out_cols)
-                    for oi in range(vl):
-                        machine.store(out_rows[oi], out[base_row + oi], col0)
-                else:
-                    for k in range(vl):
-                        machine.store(out_cols[k], out[base_row + k], col0)
+
+                def store(oi: int, vec, _base_row: int = base_row, _col0: int = col0) -> None:
+                    machine.store(vec, out[_base_row + oi], _col0)
+
+                self._sweep_2d_store(machine, out_cols, store, transpose_back)
                 prev_t, cur_t = cur_t, next_t
         if not transpose_back:
             # The caller receives logically-transposed vl×vl tiles; undo them
@@ -445,6 +429,109 @@ class FoldingSchedule:
             # between time steps instead.
             out = _untranspose_tiles(out, vl)
         return out
+
+    def _sweep_2d_weight_vectors(self, machine: SimdMachine) -> "SquareWeights":
+        """Broadcast all weight vectors of the square pipeline (the prologue)."""
+        return SquareWeights(
+            row=[[machine.broadcast(float(w)) for w in cp.vector] for cp in self.materialized],
+            bias=[
+                [machine.broadcast(float(w)) for w in cp.bias] if np.any(cp.bias) else None
+                for cp in self.materialized
+            ],
+            omega=[
+                {idx: machine.broadcast(float(w)) for idx, w in cp.omega.items()}
+                for cp in self.materialized
+            ],
+            horiz=[
+                None if entry is None else (entry[0], machine.broadcast(float(entry[1])))
+                for entry in self.position_map
+            ],
+        )
+
+    def _sweep_2d_vertical(self, machine: SimdMachine, weights: "SquareWeights", load_row) -> List[List]:
+        """Vertical folds of one square, transposed, per materialised counterpart.
+
+        ``load_row(s)`` must return the row vector at offset ``s`` ∈
+        ``[-R, vl + R)`` from the square's top row (wrapping periodically).
+        """
+        vl = machine.vl
+        radius = self.radius
+        loaded = [load_row(s) for s in range(-radius, vl + radius)]
+        machine.note_live_registers(len(loaded) + vl + len(self.materialized) * vl)
+        per_cp: List[List] = []
+        for ci, cp in enumerate(self.materialized):
+            folded_rows = []
+            for oi in range(vl):
+                if cp.mode == "direct":
+                    window = loaded[oi : oi + 2 * radius + 1]
+                    acc = machine.mul(window[0], weights.row[ci][0])
+                    for t in range(1, len(window)):
+                        acc = machine.fma(window[t], weights.row[ci][t], acc)
+                else:
+                    acc = None
+                    for idx, wvec in weights.omega[ci].items():
+                        term = machine.mul(per_cp[idx][oi], wvec)
+                        acc = term if acc is None else machine.add(acc, term)
+                    if weights.bias[ci] is not None:
+                        window = loaded[oi : oi + 2 * radius + 1]
+                        for t in range(len(window)):
+                            if float(cp.bias[t]) != 0.0:
+                                if acc is None:
+                                    acc = machine.mul(window[t], weights.bias[ci][t])
+                                else:
+                                    acc = machine.fma(window[t], weights.bias[ci][t], acc)
+                    if acc is None:
+                        acc = machine.broadcast(0.0)
+                folded_rows.append(acc)
+            per_cp.append(register_transpose(machine, folded_rows))
+        return per_cp
+
+    def _sweep_2d_horizontal(
+        self,
+        machine: SimdMachine,
+        weights: "SquareWeights",
+        prev_t: List[List],
+        cur_t: List[List],
+        next_t: List[List],
+    ) -> List:
+        """Horizontal folding of one square (shifts reuse over three squares).
+
+        Output column ``k`` uses transposed columns ``k - R .. k + R`` drawn
+        from the previous / current / next squares' transposed counterparts.
+        """
+        vl = machine.vl
+        radius = self.radius
+        out_cols = []
+        for k in range(vl):
+            acc = None
+            for pos, entry in enumerate(weights.horiz):
+                if entry is None:
+                    continue
+                mat_idx, wvec = entry
+                col = k + (pos - radius)
+                if col < 0:
+                    source = prev_t[mat_idx][vl + col]
+                elif col >= vl:
+                    source = next_t[mat_idx][col - vl]
+                else:
+                    source = cur_t[mat_idx][col]
+                if acc is None:
+                    acc = machine.mul(source, wvec)
+                else:
+                    acc = machine.fma(source, wvec, acc)
+            out_cols.append(acc)
+        return out_cols
+
+    def _sweep_2d_store(self, machine: SimdMachine, out_cols: Sequence, store, transpose_back: bool) -> None:
+        """Store one square's result via ``store(oi, vec)`` (row ``oi`` of the square)."""
+        vl = machine.vl
+        if transpose_back:
+            out_rows = register_transpose(machine, out_cols)
+            for oi in range(vl):
+                store(oi, out_rows[oi])
+        else:
+            for k in range(vl):
+                store(k, out_cols[k])
 
     # ------------------------------------------------------------------ #
     # analytic instruction profile

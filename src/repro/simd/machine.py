@@ -162,6 +162,21 @@ class SimdMachine:
             self._count(InstructionClass.STORE, excess)
             self._count(InstructionClass.LOAD, excess)
 
+    def absorb(self, counts: InstructionCounts, peak_live: int = 0, spills: float = 0.0) -> None:
+        """Fold an externally derived tally into this machine's accounting.
+
+        Used by the trace-replay backend (:mod:`repro.trace`), which executes
+        schedules in bulk and derives the instruction tally analytically from
+        the recorded trace instead of counting one instruction at a time.
+        The spill stores/reloads charged by :meth:`note_live_registers` must
+        already be included in ``counts`` (the recorder mirrors that
+        accounting); ``spills`` only updates the :attr:`spill_count`
+        statistic.
+        """
+        self.counts = self.counts.merge(counts)
+        self._peak_live = max(self._peak_live, int(peak_live))
+        self._spills += float(spills)
+
     @property
     def peak_live_registers(self) -> int:
         """Largest number of simultaneously live vector values reported."""

@@ -1,0 +1,35 @@
+"""Trace-compiled simulation: record-once/replay-many SIMD sweeps.
+
+The interpreted simulator executes register-level schedules one Python
+``Vector`` instruction at a time, which is exact but caps the grid sizes a
+``simulate()`` call can afford.  This package removes the per-instruction
+Python overhead without giving up exactness:
+
+* :mod:`repro.trace.recorder` — a :class:`~repro.trace.recorder.TraceRecorder`
+  proxy machine that captures the per-block instruction trace of a
+  :class:`~repro.core.vectorized_folding.FoldingSchedule` sweep (opcode,
+  operand slots, block-relative grid offsets, instruction class) by running
+  the schedule's own pipeline pieces symbolically,
+* :mod:`repro.trace.compiler` — compiles that trace into a batched NumPy
+  program replaying it over *all* block positions at once
+  (:func:`compile_sweep`), with instruction counts derived analytically from
+  the trace times the block count (spill accounting included).
+
+Replay is bit-identical to the interpreted sweep and produces identical
+:class:`~repro.simd.machine.InstructionCounts`; it is the default backend of
+:meth:`repro.core.plan.CompiledPlan.simulate` (opt out with
+``backend="interpret"``).
+"""
+
+from repro.trace.compiler import CompiledSweep1D, CompiledSweep2D, compile_sweep
+from repro.trace.recorder import TraceOp, TraceRecorder, TraceReg, TraceSegment
+
+__all__ = [
+    "CompiledSweep1D",
+    "CompiledSweep2D",
+    "TraceOp",
+    "TraceRecorder",
+    "TraceReg",
+    "TraceSegment",
+    "compile_sweep",
+]

@@ -13,7 +13,11 @@ from repro.core.counterparts import (
     separate_kernel,
     unique_counterparts,
 )
-from repro.core.regression import plan_counterparts
+from repro.core.regression import (
+    clear_counterpart_cache,
+    counterpart_cache_info,
+    plan_counterparts,
+)
 from repro.stencils.library import (
     box_2d9p,
     box_3d27p,
@@ -165,3 +169,37 @@ class TestRegressionPlan:
         np.testing.assert_allclose(
             plan.reconstruct_matrix(matrix.shape), matrix, rtol=1e-8, atol=1e-10
         )
+
+
+class TestPlanMemoization:
+    def test_repeated_calls_return_the_cached_plan(self):
+        clear_counterpart_cache()
+        matrix = box_2d9p().compose(2).kernel
+        first = plan_counterparts(matrix)
+        second = plan_counterparts(matrix.copy())
+        assert second is first  # content-keyed: a copy hits the same entry
+        entries, capacity = counterpart_cache_info()
+        assert entries == 1 and capacity >= 1
+
+    def test_different_settings_get_distinct_entries(self):
+        clear_counterpart_cache()
+        matrix = general_box_2d9p().compose(2).kernel
+        a = plan_counterparts(matrix)
+        b = plan_counterparts(matrix, max_terms=1)
+        assert a is not b
+        entries, _ = counterpart_cache_info()
+        assert entries == 2
+
+    def test_cached_arrays_are_read_only(self):
+        clear_counterpart_cache()
+        plan = plan_counterparts(box_2d9p().compose(2).kernel)
+        with pytest.raises(ValueError):
+            plan.steps[0].vector[0] = 99.0
+
+    def test_schedule_compiles_share_the_regression(self):
+        from repro.core.vectorized_folding import FoldingSchedule
+
+        clear_counterpart_cache()
+        s1 = FoldingSchedule(general_box_2d9p(), 2)
+        s2 = FoldingSchedule(general_box_2d9p(), 2)
+        assert s1.plan is s2.plan
