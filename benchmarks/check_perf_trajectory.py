@@ -1,0 +1,99 @@
+"""Perf-trajectory gate: compare a fresh BENCH_simulation.json to a baseline.
+
+CI regenerates ``BENCH_simulation.json`` on every run and then calls::
+
+    python benchmarks/check_perf_trajectory.py BENCH_simulation.json \
+        --baseline baseline-simulation.json
+
+The baseline is the artifact of the last successful run on ``main`` when one
+can be downloaded, falling back to the committed ``BENCH_simulation.json``
+(every PR commits the artifact it produced, so the committed copy *is* the
+previous PR's trajectory point).  The gate fails when:
+
+* any case present in the baseline has disappeared from the fresh artifact
+  (a dimensionality silently dropping out of the benchmark would otherwise
+  pass unnoticed), or
+* any fresh case's trace-over-interpret speedup is below the floor
+  (default 10×, the bar PR 3 established), or
+* the fresh artifact lacks 2-D or 3-D coverage entirely.
+
+Absolute seconds are *not* gated — CI machines vary — only the relative
+speedup and the case coverage, which is what "no perf regression in the
+trajectory" means for a simulated-machine benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Minimum trace-over-interpret speedup, matching
+#: benchmarks/test_simulation_speed.py's asserted floor.
+MIN_SPEEDUP = 10.0
+
+
+def load_cases(path: Path) -> dict:
+    """Return the ``cases`` mapping of one artifact (empty if unreadable)."""
+    payload = json.loads(path.read_text())
+    cases = payload.get("cases", {})
+    if not isinstance(cases, dict):
+        raise ValueError(f"{path}: 'cases' is not a mapping")
+    return cases
+
+
+def check(current: dict, baseline: dict, min_speedup: float) -> list:
+    """Return the list of gate violations (empty when the trajectory holds)."""
+    problems = []
+    for name in sorted(baseline):
+        if name not in current:
+            problems.append(f"case {name!r} present in the baseline has disappeared")
+    for name, case in sorted(current.items()):
+        speedup = float(case.get("speedup", 0.0))
+        if speedup < min_speedup:
+            problems.append(
+                f"case {name!r}: trace speedup {speedup:.1f}x is below the "
+                f"{min_speedup:.0f}x floor"
+            )
+    for marker in ("2d", "3d"):
+        if not any(marker in name.lower() for name in current):
+            problems.append(f"no {marker.upper()} case in the fresh artifact")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="freshly generated BENCH_simulation.json")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="previous BENCH_simulation.json to compare against",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_SPEEDUP,
+        help=f"minimum trace-over-interpret speedup (default {MIN_SPEEDUP:.0f})",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_cases(args.current)
+    baseline = load_cases(args.baseline)
+    problems = check(current, baseline, args.min_speedup)
+
+    print(f"baseline cases : {', '.join(sorted(baseline)) or '(none)'}")
+    print(f"current cases  : {', '.join(sorted(current)) or '(none)'}")
+    for name, case in sorted(current.items()):
+        print(f"  {name}: {float(case.get('speedup', 0.0)):.0f}x trace speedup")
+    if problems:
+        for problem in problems:
+            print(f"PERF GATE FAILURE: {problem}", file=sys.stderr)
+        return 1
+    print("perf trajectory OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

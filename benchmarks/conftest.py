@@ -13,8 +13,6 @@ the model or the schedules fails the benchmark run, not just the unit tests.
 
 from __future__ import annotations
 
-import pytest
-
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Time ``fn`` with a single round (the experiment functions are heavy)."""

@@ -141,7 +141,8 @@ def test_ablation_weighted_transpose_measured(benchmark):
 
     rows = run_once(benchmark, sweep)
     print()
-    print(format_table(rows, title="== ablation: weighted transpose (2D9P, m=2, measured trace counts)"))
+    title = "== ablation: weighted transpose (2D9P, m=2, measured trace counts)"
+    print(format_table(rows, title=title))
     with_wt, without = rows[0], rows[1]
     assert without["data_org"] < with_wt["data_org"]
     assert without["arith"] == with_wt["arith"]

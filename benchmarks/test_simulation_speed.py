@@ -1,11 +1,12 @@
 """Simulation-speed benchmark: trace replay vs the interpreted simulator.
 
-Times ``CompiledPlan.simulate()`` under both backends on a 1-D and a 2-D
-grid, asserts the acceptance bar (trace replay ≥ 10× faster on a 2-D
-256×256 grid over 8 steps with bit-identical values and identical
-instruction counts) and emits ``BENCH_simulation.json`` at the repository
-root so the perf trajectory of future PRs can be compared against this one.
-CI runs this module with ``--benchmark-json`` and uploads both artifacts.
+Times ``CompiledPlan.simulate()`` under both backends on a 1-D, a 2-D and a
+3-D grid, asserts the acceptance bar (trace replay ≥ 10× faster with
+bit-identical values and identical instruction counts) and emits
+``BENCH_simulation.json`` at the repository root so the perf trajectory of
+future PRs can be compared against this one.  CI runs this module with
+``--benchmark-json``, uploads both artifacts and gates the next PR on the
+emitted cases through ``benchmarks/check_perf_trajectory.py``.
 """
 
 from __future__ import annotations
@@ -24,9 +25,9 @@ from repro.stencils.grid import Grid
 
 ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_simulation.json"
 
-#: Acceptance bar for the 2-D case (the asserted floor, not the typical
+#: Acceptance bar for every case (the asserted floor, not the typical
 #: speedup, which is two orders of magnitude larger).
-MIN_SPEEDUP_2D = 10.0
+MIN_SPEEDUP = 10.0
 
 
 @pytest.fixture(scope="module")
@@ -84,7 +85,7 @@ def test_simulation_speed_1d(benchmark, artifact):
         f"\n1-D 32768x8: interpret {interp_s:.3f}s, trace {trace_s:.4f}s "
         f"-> {speedup:.0f}x"
     )
-    assert speedup >= MIN_SPEEDUP_2D
+    assert speedup >= MIN_SPEEDUP
 
 
 @pytest.mark.benchmark(group="simulation-speed")
@@ -107,4 +108,27 @@ def test_simulation_speed_2d(benchmark, artifact):
         f"\n2-D 256x256x8: interpret {interp_s:.3f}s, trace {trace_s:.4f}s "
         f"-> {speedup:.0f}x"
     )
-    assert speedup >= MIN_SPEEDUP_2D
+    assert speedup >= MIN_SPEEDUP
+
+
+@pytest.mark.benchmark(group="simulation-speed")
+def test_simulation_speed_3d(benchmark, artifact):
+    """3-D heat on a 16×16×16 grid, 4 steps, m=2 — trace ≥ 10× faster."""
+    p = repro.plan("3d-heat").method("folded").unroll(2).isa("avx2").compile()
+    grid = Grid.random((16, 16, 16), seed=0)
+    trace_s, interp_s, total_instr = _time_backends(p, grid, steps=4)
+    run_once(benchmark, p.simulate, grid, 4)
+    speedup = interp_s / trace_s
+    artifact["3d-heat-16x16x16x4"] = {
+        "grid": list(grid.values.shape),
+        "steps": 4,
+        "trace_seconds": trace_s,
+        "interpret_seconds": interp_s,
+        "speedup": speedup,
+        "simulated_instructions": total_instr,
+    }
+    print(
+        f"\n3-D 16x16x16x4: interpret {interp_s:.3f}s, trace {trace_s:.4f}s "
+        f"-> {speedup:.0f}x"
+    )
+    assert speedup >= MIN_SPEEDUP

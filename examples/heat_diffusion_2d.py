@@ -53,10 +53,13 @@ def main() -> None:
     )
     tiled_result = tiled_plan.run(grid, steps)
 
+    def deviation(result):
+        return float(np.max(np.abs(result - reference)))
+
     rows = [
-        {"path": "DLT layout", "max |Δ| vs reference": float(np.max(np.abs(dlt_result - reference)))},
-        {"path": "folded (m=2)", "max |Δ| vs reference": float(np.max(np.abs(folded_result - reference)))},
-        {"path": "tessellated (4 workers)", "max |Δ| vs reference": float(np.max(np.abs(tiled_result - reference)))},
+        {"path": "DLT layout", "max |Δ| vs reference": deviation(dlt_result)},
+        {"path": "folded (m=2)", "max |Δ| vs reference": deviation(folded_result)},
+        {"path": "tessellated (4 workers)", "max |Δ| vs reference": deviation(tiled_result)},
     ]
     print()
     print(format_table(rows, float_fmt=".2e", title="Numerical agreement of the execution paths"))

@@ -80,9 +80,15 @@ from repro.stencils.library import BENCHMARKS, BenchmarkCase, get_benchmark
 from repro.stencils.reference import reference_run, reference_step
 from repro.tiling.tessellate import TessellationConfig, tessellate_run
 from repro.perfmodel.costmodel import estimate_performance, PerformanceEstimate
-from repro.trace import CompiledSweep1D, CompiledSweep2D, TraceRecorder, compile_sweep
+from repro.trace import (
+    CompiledSweep1D,
+    CompiledSweep2D,
+    CompiledSweep3D,
+    TraceRecorder,
+    compile_sweep,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "MachineSpec",
@@ -125,6 +131,16 @@ __all__ = [
     "PerformanceEstimate",
     "CompiledSweep1D",
     "CompiledSweep2D",
+    "CompiledSweep3D",
+    "study",
+    "StudyBuilder",
+    "ResultSet",
+    "EvalCache",
+    "Provenance",
+    "config_hash",
+    "map_ordered",
+    "isa_variant",
+    "scalability_cores",
     "TraceRecorder",
     "compile_sweep",
     "__version__",

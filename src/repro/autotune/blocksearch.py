@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.machine import MachineSpec
 from repro.parallel.model import multicore_estimate
@@ -83,7 +82,6 @@ def search_blocking(
     max_candidates_per_dim:
         Cap on spatial candidates per dimension to keep the search small.
     """
-    dims = len(grid_shape)
     scored: List[Tuple[TessellationConfig, float]] = []
     for tr in time_ranges:
         per_dim: List[List[Optional[int]]] = []

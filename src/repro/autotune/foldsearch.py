@@ -13,7 +13,7 @@ penalty through the instruction profile) and returns the best one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.core.folding import analyze_folding
 from repro.machine import MachineSpec, machine_for_isa

@@ -159,7 +159,6 @@ def dlt_step(
     """Advance a DLT-layout grid by one time step, staying in the DLT layout."""
     view = _dlt_view(dlt_values, vl)
     out = np.zeros_like(view)
-    centre = spec.centre
     for offset, weight in spec.offsets_and_weights().items():
         shifted = view
         # Leading (non-innermost) offsets shift whole rows of the grid.

@@ -15,8 +15,18 @@ Real hardware counters are unavailable here, so this subpackage provides:
 """
 
 from repro.cache.hierarchy import CacheConfig, hierarchy_from_machine
-from repro.cache.simulator import CacheHierarchySimulator, CacheLevelStats
-from repro.cache.analytic import TrafficEstimate, estimate_traffic, residency_level
+from repro.cache.simulator import (
+    CacheHierarchySimulator,
+    CacheLevelStats,
+    stencil_access_stream,
+)
+from repro.cache.analytic import (
+    TrafficEstimate,
+    estimate_traffic,
+    neighborhood_working_set_bytes,
+    residency_level,
+    sweep_reuse_level,
+)
 
 __all__ = [
     "CacheConfig",
@@ -25,5 +35,8 @@ __all__ = [
     "CacheLevelStats",
     "TrafficEstimate",
     "estimate_traffic",
+    "neighborhood_working_set_bytes",
     "residency_level",
+    "stencil_access_stream",
+    "sweep_reuse_level",
 ]

@@ -24,7 +24,7 @@ level — the paper's Figure 8 / Table 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Sequence
 
 from repro.machine import MachineSpec
 
@@ -38,7 +38,51 @@ STREAM_BYTES_PER_POINT = 24.0
 STREAM_BYTES_NO_ALLOCATE = 16.0
 
 
-def residency_level(working_set_bytes: float, machine: MachineSpec, cores_sharing_l3: int = 1) -> str:
+def neighborhood_working_set_bytes(
+    shape: Sequence[int], radius: int, itemsize: int = 8
+) -> float:
+    """Bytes that must stay resident for full neighbour reuse in one sweep.
+
+    A row-major streaming sweep re-reads every loaded element until the sweep
+    front has advanced ``radius`` positions along the leading axis, so the
+    reuse window is a slab of ``2r + 1`` leading-axis entries: points in 1-D,
+    rows in 2-D, whole planes in 3-D.  The slab is what must fit in a cache
+    level for the stencil's neighbour loads to hit there — the reason 3-D
+    stencils fall out of small caches at far smaller extents than 2-D ones,
+    and the quantity the 3-D blocking sizes of Table 1 are chosen against.
+    """
+    shape = tuple(int(s) for s in shape)
+    if not shape or any(s < 1 for s in shape):
+        raise ValueError(f"invalid grid shape {shape}")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    window = 2 * radius + 1
+    for extent in shape[1:]:
+        window *= extent
+    return float(window * itemsize)
+
+
+def sweep_reuse_level(
+    shape: Sequence[int],
+    machine: MachineSpec,
+    radius: int,
+    itemsize: int = 8,
+    cores_sharing_l3: int = 1,
+) -> str:
+    """Innermost level holding one sweep's neighbour-reuse slab.
+
+    ``"L1"``/``"L2"``/``"L3"`` mean the stencil's neighbour loads hit that
+    level during a plain streaming sweep; ``"Memory"`` means even single-sweep
+    reuse misses cache and spatial blocking is mandatory.
+    """
+    return residency_level(
+        neighborhood_working_set_bytes(shape, radius, itemsize), machine, cores_sharing_l3
+    )
+
+
+def residency_level(
+    working_set_bytes: float, machine: MachineSpec, cores_sharing_l3: int = 1
+) -> str:
     """Return the innermost storage level that holds ``working_set_bytes``.
 
     Parameters

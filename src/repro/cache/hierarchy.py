@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.machine import CacheLevelSpec, MachineSpec
+from repro.machine import MachineSpec
 
 
 @dataclass(frozen=True)

@@ -23,12 +23,76 @@ Truly paper-scale traffic questions remain the analytic model's job.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cache.hierarchy import CacheConfig
+
+
+def stencil_access_stream(
+    shape: Sequence[int],
+    offsets: Iterable[Tuple[int, ...]],
+    read_base: int = 0,
+    write_base: Optional[int] = None,
+    itemsize: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Byte-address stream of one naive stencil sweep over a periodic grid.
+
+    For every grid point, visited in row-major order, the stream reads each
+    neighbour ``offset`` from the source array and then writes the point to
+    the destination array — the access order of the point-by-point reference
+    formulation.  The construction is dimension-generic (1-D, 2-D, 3-D grids
+    all use the same index arithmetic) and fully vectorized, so paper-shaped
+    3-D sweeps can be fed to :meth:`CacheHierarchySimulator.access_stream`
+    without a per-point Python loop.
+
+    Parameters
+    ----------
+    shape:
+        Spatial extents of the grid.
+    offsets:
+        Neighbour offsets relative to the updated point (e.g. the keys of
+        :meth:`repro.stencils.spec.StencilSpec.offsets_and_weights`); each
+        must have ``len(shape)`` coordinates.  Offsets wrap periodically.
+    read_base:
+        Byte address of the source array.
+    write_base:
+        Byte address of the destination array; defaults to the end of the
+        source array (two disjoint Jacobi-style arrays).
+    itemsize:
+        Bytes per grid element.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        Byte addresses and a matching boolean write-flag array, ready for
+        :meth:`CacheHierarchySimulator.access_stream`.
+    """
+    shape = tuple(int(s) for s in shape)
+    if not shape or any(s < 1 for s in shape):
+        raise ValueError(f"invalid grid shape {shape}")
+    offsets = list(offsets)
+    if not offsets:
+        raise ValueError("at least one neighbour offset is required")
+    ndim = len(shape)
+    npoints = int(np.prod(shape))
+    if write_base is None:
+        write_base = read_base + npoints * itemsize
+    coords = np.indices(shape).reshape(ndim, npoints)
+    columns: List[np.ndarray] = []
+    for off in offsets:
+        if len(off) != ndim:
+            raise ValueError(f"offset {off!r} does not have {ndim} coordinates")
+        neighbour = tuple((coords[d] + int(off[d])) % shape[d] for d in range(ndim))
+        flat = np.ravel_multi_index(neighbour, shape)
+        columns.append(read_base + itemsize * flat)
+    columns.append(write_base + itemsize * np.arange(npoints, dtype=np.int64))
+    addrs = np.stack(columns, axis=1).reshape(-1)
+    writes = np.zeros((npoints, len(columns)), dtype=bool)
+    writes[:, -1] = True
+    return addrs, writes.reshape(-1)
 
 
 @dataclass
@@ -299,4 +363,5 @@ class CacheHierarchySimulator:
         """Sequentially access an ``n_items`` array (one access per line)."""
         total_bytes = n_items * itemsize
         for line_start in range(0, total_bytes, self.line_bytes):
-            self.access(base_addr + line_start, min(self.line_bytes, total_bytes - line_start), is_write)
+            size = min(self.line_bytes, total_bytes - line_start)
+            self.access(base_addr + line_start, size, is_write)

@@ -21,7 +21,7 @@ numbers become testable properties rather than prose.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

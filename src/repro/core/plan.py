@@ -48,7 +48,7 @@ from repro.parallel.executor import run_plan_batch, tessellate_run_parallel
 from repro.parallel.model import MulticoreConfig, multicore_estimate
 from repro.perfmodel.costmodel import PerformanceEstimate
 from repro.perfmodel.profiles import MethodProfile
-from repro.registry import MethodDescriptor, get_method, set_executor
+from repro.registry import MethodDescriptor, get_method, set_executor, simulation_support
 from repro.simd.isa import IsaSpec, isa_for
 from repro.simd.machine import InstructionCounts, SimdMachine
 from repro.stencils.boundary import BoundaryCondition
@@ -198,6 +198,13 @@ class PlanBuilder:
                 f"method {descriptor.key!r} requires a linear stencil; "
                 f"{self._spec.name!r} is non-linear"
             )
+        if descriptor.supports_simulation and self._spec.dims not in descriptor.simulation_dims:
+            raise ValueError(
+                f"method {descriptor.key!r} has no {self._spec.dims}-D register-level "
+                f"schedule (its simulation covers "
+                f"{'/'.join(f'{d}-D' for d in descriptor.simulation_dims)}); "
+                + _describe_simulation_support()
+            )
         config = PlanConfig(
             method=descriptor.key,
             isa=self._isa,
@@ -207,6 +214,15 @@ class PlanBuilder:
             workers=self._workers,
         )
         return CompiledPlan(self._spec, config, descriptor, isa_spec)
+
+
+def _describe_simulation_support() -> str:
+    """One line naming, per dimensionality, the methods that can simulate it."""
+    support = simulation_support()
+    if not support:
+        return "no registered method supports simulated execution"
+    parts = [f"{dims}-D: {', '.join(keys)}" for dims, keys in support.items()]
+    return "simulation-capable methods by dimensionality — " + "; ".join(parts)
 
 
 def plan(spec: Union[StencilSpec, BenchmarkCase, str]) -> PlanBuilder:
@@ -358,10 +374,12 @@ class CompiledPlan:
 
         Supported for methods with the ``supports_simulation`` capability on
         1-D grids (held in the transpose layout for the duration of the run,
-        as Section 2.2 prescribes) and 2-D grids (original layout, Figure 5
-        square pipeline).  Grids must be periodic and sized in multiples of
-        ``vl²`` (1-D) or ``vl`` (2-D).  Returns the final values together
-        with the instruction tally of the whole run.
+        as Section 2.2 prescribes), 2-D grids (original layout, Figure 5
+        square pipeline) and 3-D grids (original layout, plane-wise square
+        pipeline with the leading dimension folded into the vertical phase).
+        Grids must be periodic and sized in multiples of ``vl²`` (1-D) or
+        ``vl`` along the two innermost extents (2-D/3-D).  Returns the final
+        values together with the instruction tally of the whole run.
 
         Parameters
         ----------
@@ -398,11 +416,14 @@ class CompiledPlan:
         m = self.steps_per_update
         if steps % m != 0:
             raise ValueError(f"steps ({steps}) must be a multiple of the unroll factor {m}")
+        if grid.dims not in self.descriptor.simulation_dims:
+            raise ValueError(
+                f"method {self.config.method!r} cannot simulate a {grid.dims}-D grid; "
+                + _describe_simulation_support()
+            )
         schedule = self._simulation_schedule()
         vl = machine.vl
         values = grid.values.copy()
-        if grid.dims not in (1, 2):
-            raise ValueError("simulated execution supports 1-D and 2-D grids")
 
         if backend == "trace":
             sweeps = steps // m
@@ -426,8 +447,9 @@ class CompiledPlan:
             for _ in range(steps // m):
                 data = schedule.simd_sweep_1d(machine, data)
             return from_transpose_layout(data, vl), machine.counts
+        sweep = schedule.simd_sweep_2d if grid.dims == 2 else schedule.simd_sweep_3d
         for _ in range(steps // m):
-            values = schedule.simd_sweep_2d(machine, values)
+            values = sweep(machine, values)
         return values, machine.counts
 
     def _compiled_sweep(self, schedule: FoldingSchedule, isa: IsaSpec, dims: int):

@@ -19,19 +19,26 @@ folded update of a linear stencil:
   - :meth:`FoldingSchedule.simd_sweep_2d` — the register-level schedule for
     2-D stencils in the original layout (load rows → vertical folding →
     register transpose → horizontal folding → weighted transpose → store,
-    Figure 5), with shifts reuse between horizontally adjacent squares.
+    Figure 5), with shifts reuse between horizontally adjacent squares,
+  - :meth:`FoldingSchedule.simd_sweep_3d` — the same square pipeline applied
+    plane by plane to 3-D stencils: the vertical phase folds across the full
+    leading (plane, row) neighbourhood of each ``vl × vl`` square, the
+    horizontal phase and the weighted transpose are shared with the 2-D
+    sweep unchanged.
 
 * an analytic per-point instruction profile used by the performance model.
 
-Both SIMD sweeps are built from per-block pipeline pieces
+All SIMD sweeps are built from per-block pipeline pieces
 (:meth:`FoldingSchedule._sweep_1d_block`,
-:meth:`FoldingSchedule._sweep_2d_vertical`, ...) that take the target machine
-plus abstract ``load``/``store`` callables.  The interpreted sweeps bind them
-to concrete :class:`~repro.simd.machine.SimdMachine` memory operations; the
-trace compiler in :mod:`repro.trace` runs the very same pieces once against a
-recording proxy to capture the per-block instruction trace it replays in
-bulk.  Because both backends execute the same schedule code, they cannot
-drift apart.
+:meth:`FoldingSchedule._sweep_2d_vertical`,
+:meth:`FoldingSchedule._sweep_3d_vertical`,
+:meth:`FoldingSchedule._sweep_square_horizontal`, ...) that take the target
+machine plus abstract ``load``/``store`` callables.  The interpreted sweeps
+bind them to concrete :class:`~repro.simd.machine.SimdMachine` memory
+operations; the trace compiler in :mod:`repro.trace` runs the very same
+pieces once against a recording proxy to capture the per-block instruction
+trace it replays in bulk.  Because both backends execute the same schedule
+code, they cannot drift apart.
 
 ``m = 1`` degenerates to the paper's Section 2 scheme (no temporal folding,
 just the transpose-layout vectorisation), so the same class also serves as
@@ -144,7 +151,7 @@ class FoldingSchedule:
         for step in steps:
             if step.mode == "scaled":
                 # Exactly one omega entry referencing a previous plan step.
-                (ref_plan_idx, scale), = step.omega.items()
+                ((ref_plan_idx, scale),) = step.omega.items()
                 base_idx, base_scale = resolved[ref_plan_idx]
                 resolved[step.index] = (base_idx, scale * base_scale)
                 continue
@@ -167,7 +174,10 @@ class FoldingSchedule:
 
         # Horizontal map: for every relative innermost position, which
         # materialised counterpart feeds it and with what weight.
-        flat = self.matrix.reshape(-1, self.matrix.shape[-1]) if self.dims > 1 else self.matrix.reshape(1, -1)
+        if self.dims > 1:
+            flat = self.matrix.reshape(-1, self.matrix.shape[-1])
+        else:
+            flat = self.matrix.reshape(1, -1)
         position_map: List[Optional[Tuple[int, float]]] = [None] * flat.shape[1]
         for step in steps:
             mat_idx, scale = resolved[step.index]
@@ -397,7 +407,7 @@ class FoldingSchedule:
 
         n_row_blocks = rows // vl
         n_col_blocks = cols // vl
-        weights = self._sweep_2d_weight_vectors(machine)
+        weights = self._sweep_square_weight_vectors(machine)
 
         def vertical_and_transpose(block_row: int, block_col: int) -> List[List]:
             base_row = block_row * vl
@@ -413,14 +423,14 @@ class FoldingSchedule:
             cur_t = vertical_and_transpose(br, 0)
             for bc in range(n_col_blocks):
                 next_t = vertical_and_transpose(br, (bc + 1) % n_col_blocks)
-                out_cols = self._sweep_2d_horizontal(machine, weights, prev_t, cur_t, next_t)
+                out_cols = self._sweep_square_horizontal(machine, weights, prev_t, cur_t, next_t)
                 base_row = br * vl
                 col0 = bc * vl
 
                 def store(oi: int, vec, _base_row: int = base_row, _col0: int = col0) -> None:
                     machine.store(vec, out[_base_row + oi], _col0)
 
-                self._sweep_2d_store(machine, out_cols, store, transpose_back)
+                self._sweep_square_store(machine, out_cols, store, transpose_back)
                 prev_t, cur_t = cur_t, next_t
         if not transpose_back:
             # The caller receives logically-transposed vl×vl tiles; undo them
@@ -430,8 +440,13 @@ class FoldingSchedule:
             out = _untranspose_tiles(out, vl)
         return out
 
-    def _sweep_2d_weight_vectors(self, machine: SimdMachine) -> "SquareWeights":
-        """Broadcast all weight vectors of the square pipeline (the prologue)."""
+    def _sweep_square_weight_vectors(self, machine: SimdMachine) -> "SquareWeights":
+        """Broadcast all weight vectors of the square pipeline (the prologue).
+
+        Shared by the 2-D and 3-D sweeps: a counterpart's ``vector``/``bias``
+        run over the flattened leading offsets (kernel rows in 2-D,
+        (plane, row) pairs in 3-D), so the broadcasts are dimension-generic.
+        """
         return SquareWeights(
             row=[[machine.broadcast(float(w)) for w in cp.vector] for cp in self.materialized],
             bias=[
@@ -448,7 +463,9 @@ class FoldingSchedule:
             ],
         )
 
-    def _sweep_2d_vertical(self, machine: SimdMachine, weights: "SquareWeights", load_row) -> List[List]:
+    def _sweep_2d_vertical(
+        self, machine: SimdMachine, weights: "SquareWeights", load_row
+    ) -> List[List]:
         """Vertical folds of one square, transposed, per materialised counterpart.
 
         ``load_row(s)`` must return the row vector at offset ``s`` ∈
@@ -458,6 +475,7 @@ class FoldingSchedule:
         radius = self.radius
         loaded = [load_row(s) for s in range(-radius, vl + radius)]
         machine.note_live_registers(len(loaded) + vl + len(self.materialized) * vl)
+        per_rows: List[List] = []
         per_cp: List[List] = []
         for ci, cp in enumerate(self.materialized):
             folded_rows = []
@@ -468,9 +486,12 @@ class FoldingSchedule:
                     for t in range(1, len(window)):
                         acc = machine.fma(window[t], weights.row[ci][t], acc)
                 else:
+                    # Counterpart reuse is a relation between *fields*, so the
+                    # reused operands must keep the row orientation the bias
+                    # terms (and the final transpose) expect.
                     acc = None
                     for idx, wvec in weights.omega[ci].items():
-                        term = machine.mul(per_cp[idx][oi], wvec)
+                        term = machine.mul(per_rows[idx][oi], wvec)
                         acc = term if acc is None else machine.add(acc, term)
                     if weights.bias[ci] is not None:
                         window = loaded[oi : oi + 2 * radius + 1]
@@ -483,10 +504,94 @@ class FoldingSchedule:
                     if acc is None:
                         acc = machine.broadcast(0.0)
                 folded_rows.append(acc)
+            per_rows.append(folded_rows)
             per_cp.append(register_transpose(machine, folded_rows))
         return per_cp
 
-    def _sweep_2d_horizontal(
+    def _leading_use_mask(self) -> np.ndarray:
+        """Boolean mask over the leading offsets any materialised fold reads.
+
+        Shaped like the folded kernel's leading extents
+        (``matrix.shape[:-1]``).  Direct counterparts read the rows their
+        weight vector is non-zero on; combination counterparts only touch the
+        grid through their bias (the rest comes from counterpart reuse).
+        """
+        used = np.zeros(int(np.prod(self.matrix.shape[:-1])), dtype=bool)
+        for cp in self.materialized:
+            src = cp.vector if cp.mode == "direct" else cp.bias
+            used |= np.asarray(src) != 0.0
+        return used.reshape(self.matrix.shape[:-1])
+
+    def _sweep_3d_vertical(
+        self, machine: SimdMachine, weights: "SquareWeights", load_row
+    ) -> List[List]:
+        """Vertical folds of one 3-D square, transposed, per counterpart.
+
+        The vertical phase of a 3-D square folds over the full leading
+        (plane, row) neighbourhood: ``load_row(dz, s)`` must return the row
+        vector at plane offset ``dz`` ∈ ``[-R, R]`` and row offset ``s`` ∈
+        ``[-R, vl + R)`` from the square's (plane, top-row) origin, wrapping
+        periodically.  Only the contiguous per-plane row spans some
+        materialised counterpart (or bias) actually reads are loaded.
+        """
+        vl = machine.vl
+        k0, k1 = self.matrix.shape[0], self.matrix.shape[1]
+        r0, r1 = (k0 - 1) // 2, (k1 - 1) // 2
+        used = self._leading_use_mask()
+        loaded: List[List] = [[None] * (vl + 2 * r1) for _ in range(k0)]
+        n_loads = 0
+        for dz in range(k0):
+            ts = np.flatnonzero(used[dz])
+            if ts.size == 0:
+                continue
+            for s in range(int(ts[0]), int(ts[-1]) + vl):
+                loaded[dz][s] = load_row(dz - r0, s - r1)
+                n_loads += 1
+        machine.note_live_registers(n_loads + vl + len(self.materialized) * vl)
+        per_rows: List[List] = []
+        per_cp: List[List] = []
+        for ci, cp in enumerate(self.materialized):
+            vec = np.asarray(cp.vector).reshape(k0, k1)
+            bias = np.asarray(cp.bias).reshape(k0, k1)
+            folded_rows = []
+            for oi in range(vl):
+                acc = None
+                if cp.mode == "direct":
+                    for dz in range(k0):
+                        for t in range(k1):
+                            if float(vec[dz, t]) == 0.0:
+                                continue
+                            wvec = weights.row[ci][dz * k1 + t]
+                            src = loaded[dz][oi + t]
+                            acc = (
+                                machine.mul(src, wvec)
+                                if acc is None
+                                else machine.fma(src, wvec, acc)
+                            )
+                else:
+                    for idx, wvec in weights.omega[ci].items():
+                        term = machine.mul(per_rows[idx][oi], wvec)
+                        acc = term if acc is None else machine.add(acc, term)
+                    if weights.bias[ci] is not None:
+                        for dz in range(k0):
+                            for t in range(k1):
+                                if float(bias[dz, t]) == 0.0:
+                                    continue
+                                wvec = weights.bias[ci][dz * k1 + t]
+                                src = loaded[dz][oi + t]
+                                acc = (
+                                    machine.mul(src, wvec)
+                                    if acc is None
+                                    else machine.fma(src, wvec, acc)
+                                )
+                if acc is None:
+                    acc = machine.broadcast(0.0)
+                folded_rows.append(acc)
+            per_rows.append(folded_rows)
+            per_cp.append(register_transpose(machine, folded_rows))
+        return per_cp
+
+    def _sweep_square_horizontal(
         self,
         machine: SimdMachine,
         weights: "SquareWeights",
@@ -522,7 +627,9 @@ class FoldingSchedule:
             out_cols.append(acc)
         return out_cols
 
-    def _sweep_2d_store(self, machine: SimdMachine, out_cols: Sequence, store, transpose_back: bool) -> None:
+    def _sweep_square_store(
+        self, machine: SimdMachine, out_cols: Sequence, store, transpose_back: bool
+    ) -> None:
         """Store one square's result via ``store(oi, vec)`` (row ``oi`` of the square)."""
         vl = machine.vl
         if transpose_back:
@@ -532,6 +639,97 @@ class FoldingSchedule:
         else:
             for k in range(vl):
                 store(k, out_cols[k])
+
+    # ------------------------------------------------------------------ #
+    # simulated SIMD execution: 3-D (plane-wise Figure 5 squares)
+    # ------------------------------------------------------------------ #
+    def simd_sweep_3d(
+        self,
+        machine: SimdMachine,
+        values: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        transpose_back: bool = True,
+    ) -> np.ndarray:
+        """One folded update of a 3-D grid via the plane-wise square pipeline.
+
+        The grid stays in the original row-major layout; each ``vl × vl``
+        square of each plane is processed exactly like the 2-D Figure 5
+        pipeline except that the vertical phase folds over the full leading
+        (plane, row) neighbourhood of the square — the extra grid dimension
+        is absorbed into the vertical folds, the horizontal folding, shifts
+        reuse and the weighted transpose are shared with the 2-D sweep
+        unchanged.  Boundaries are periodic; the two innermost extents must
+        be multiples of ``vl`` (the plane count is unconstrained).
+
+        Parameters
+        ----------
+        machine:
+            Simulated SIMD machine.
+        values:
+            3-D ``float64`` grid.
+        out:
+            Optional output grid.
+        transpose_back:
+            Store results in the original row orientation (the default), or
+            leave each ``vl × vl`` tile transposed (the "weighted transpose
+            is optional" ablation, as in :meth:`simd_sweep_2d`).
+        """
+        if self.dims != 3:
+            raise ValueError("simd_sweep_3d applies to 3-D stencils only")
+        vl = machine.vl
+        planes, rows, cols = values.shape
+        if rows % vl != 0 or cols % vl != 0:
+            raise ValueError(
+                f"grid shape {values.shape} must be a multiple of vl={vl} "
+                "along its two innermost extents"
+            )
+        radius = self.radius
+        if radius > vl:
+            raise ValueError("folded radius must not exceed the vector length")
+        if out is None:
+            out = np.empty_like(values)
+
+        n_row_blocks = rows // vl
+        n_col_blocks = cols // vl
+        weights = self._sweep_square_weight_vectors(machine)
+
+        for z in range(planes):
+            for br in range(n_row_blocks):
+                base_row = br * vl
+
+                def vertical_and_transpose(
+                    block_col: int, _z: int = z, _base_row: int = base_row
+                ) -> List[List]:
+                    col0 = block_col * vl
+
+                    def load_row(dz: int, s: int):
+                        return machine.load(
+                            values[(_z + dz) % planes, (_base_row + s) % rows], col0
+                        )
+
+                    return self._sweep_3d_vertical(machine, weights, load_row)
+
+                prev_t = vertical_and_transpose(n_col_blocks - 1)
+                cur_t = vertical_and_transpose(0)
+                for bc in range(n_col_blocks):
+                    next_t = vertical_and_transpose((bc + 1) % n_col_blocks)
+                    out_cols = self._sweep_square_horizontal(
+                        machine, weights, prev_t, cur_t, next_t
+                    )
+                    col0 = bc * vl
+
+                    def store(
+                        oi: int, vec, _z: int = z, _base_row: int = base_row, _col0: int = col0
+                    ) -> None:
+                        machine.store(vec, out[_z, _base_row + oi], _col0)
+
+                    self._sweep_square_store(machine, out_cols, store, transpose_back)
+                    prev_t, cur_t = cur_t, next_t
+        if not transpose_back:
+            # Undo the per-tile transpose outside the instruction accounting,
+            # as in simd_sweep_2d (a real implementation alternates layouts).
+            out = _untranspose_plane_tiles(out, vl)
+        return out
 
     # ------------------------------------------------------------------ #
     # analytic instruction profile
@@ -579,15 +777,21 @@ class FoldingSchedule:
             # Vertical/horizontal square pipeline.  The leading dimensions of
             # a d-dimensional folded kernel contribute rows_per_column row
             # loads and MACs per vertical fold.
-            rows_span = self.matrix.shape[0]
-            extra_rows = rows_span - 1
             points_per_unit = vl * vl
             if self.dims == 3:
-                # Every square additionally spans the full depth of the
-                # leading kernel axis: rows are loaded per (plane, row) pair.
-                loads = float((vl + extra_rows) * self.matrix.shape[1]) if shifts_reuse else float(
-                    (vl + 2 * extra_rows) * self.matrix.shape[1]
-                )
+                # Rows loaded per square: the contiguous per-plane (row) spans
+                # the materialised folds actually read — exactly what
+                # _sweep_3d_vertical loads.
+                used = self._leading_use_mask()
+                loads = 0.0
+                for dz in range(used.shape[0]):
+                    ts = np.flatnonzero(used[dz])
+                    if ts.size:
+                        loads += float(int(ts[-1]) - int(ts[0]) + vl)
+                if not shifts_reuse:
+                    # Recomputing the neighbour squares' verticals re-loads
+                    # the proportional share of their rows.
+                    loads *= 1.0 + radius / vl
             else:
                 loads = float(vl + 2 * radius)
             stores = float(vl)
@@ -651,3 +855,10 @@ def _untranspose_tiles(array: np.ndarray, vl: int) -> np.ndarray:
     # axes: (row block, lane, col block, lane) -> swap the two lane axes.
     tiled = array.reshape(rows // vl, vl, cols // vl, vl).swapaxes(1, 3)
     return np.ascontiguousarray(tiled).reshape(rows, cols)
+
+
+def _untranspose_plane_tiles(array: np.ndarray, vl: int) -> np.ndarray:
+    """Transpose every ``vl × vl`` tile of every plane of a 3-D array."""
+    planes, rows, cols = array.shape
+    tiled = array.reshape(planes, rows // vl, vl, cols // vl, vl).swapaxes(2, 4)
+    return np.ascontiguousarray(tiled).reshape(planes, rows, cols)

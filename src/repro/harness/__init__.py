@@ -29,6 +29,7 @@ from repro.harness.experiments import (
     figure10,
     table3,
     collects_analysis,
+    dims3,
 )
 from repro.harness.runner import EXPERIMENTS, run_experiment, run_all
 from repro.harness.report import format_experiment
@@ -41,6 +42,7 @@ __all__ = [
     "figure10",
     "table3",
     "collects_analysis",
+    "dims3",
     "EXPERIMENTS",
     "run_experiment",
     "run_all",

@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cache.analytic import problem_size_for_level
+from repro.cache.analytic import problem_size_for_level, sweep_reuse_level
 from repro.machine import (
     MachineSpec,
     XEON_GOLD_6140_AVX2,
@@ -46,7 +46,7 @@ from repro.machine import (
 from repro.perfmodel.profiles import MethodProfile
 from repro.registry import label_for, method_keys
 from repro.stencils.library import BENCHMARKS, BenchmarkCase, get_benchmark
-from repro.study import EvalCache, ResultSet, StudyCell, study
+from repro.study import EvalCache, StudyCell, study
 from repro.tiling.splittiling import SplitTilingConfig
 from repro.tiling.tessellate import TessellationConfig
 
@@ -547,4 +547,67 @@ def collects_analysis(
         name="collects",
         description="Arithmetic collects and profitability of temporal folding",
         notes=f"m={m}",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# 3-D stencils — method × ISA sweep over the Table 1 3-D benchmarks
+# --------------------------------------------------------------------------- #
+def dims3(
+    stencils: Sequence[str] = ("3d-heat", "3d27p"),
+    m: int = 2,
+    machine: Optional[MachineSpec] = None,
+    workers: Optional[int] = None,
+    cache: Optional[EvalCache] = None,
+) -> ExperimentResult:
+    """3-D benchmark sweep: every lineup method × both ISAs at paper scale.
+
+    Sweeps the paper's 3-D stencils (7-point heat, 27-point box) through the
+    full method lineup on both ISA variants of the target machine, at the
+    Table 1 problem sizes.  Each row also reports the sweep's neighbour-reuse
+    slab residency (:func:`repro.cache.analytic.sweep_reuse_level`) — for 3-D
+    stencils the slab is a pair of grid planes, which is what pushes their
+    streaming reuse out of the inner cache levels and makes the folded
+    method's sweep reduction count double.
+    """
+    machine_avx2, machine_avx512 = _multicore_machines(machine)
+    machines = {"avx2": machine_avx2, "avx512": machine_avx512}
+
+    def metric(cell: StudyCell) -> Dict[str, object]:
+        case = get_benchmark(cell["stencil"])
+        spec = case.spec
+        isa = cell["isa"]
+        target = machines[isa]
+        profile = cell.cache.profile(cell["method"], spec, isa=isa, m=m)
+        npoints = int(np.prod(case.problem_size))
+        est = cell.cache.estimate(
+            profile, npoints=npoints, time_steps=case.time_steps, machine=target
+        )
+        return {
+            "benchmark": case.display_name,
+            "stencil": spec.name,
+            "isa": isa,
+            "method": cell["method"],
+            "label": label_for(cell["method"]),
+            "gflops": est.gflops,
+            "bound": est.bound,
+            "residency": est.residency,
+            "reuse_level": sweep_reuse_level(case.problem_size, target, spec.radius),
+        }
+
+    result = (
+        study("dims3")
+        .over(stencil=tuple(stencils), isa=("avx2", "avx512"), method=SEQUENTIAL_METHODS)
+        .on(machine_avx2)
+        .metric(metric)
+        .cache(cache)
+        .run(workers=workers if workers is not None else 1)
+    )
+    return result.to_experiment(
+        name="dims3",
+        description=(
+            "3-D stencils: method lineup × ISA at the Table 1 problem sizes, "
+            "with neighbour-reuse slab residency"
+        ),
+        notes=f"m={m}, stencils={', '.join(stencils)}",
     )

@@ -9,7 +9,7 @@ readable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.harness.experiments import ExperimentResult
 from repro.utils.tables import format_table

@@ -35,6 +35,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.harness.experiments import (
     ExperimentResult,
     collects_analysis,
+    dims3,
     figure8,
     figure9,
     figure10,
@@ -56,10 +57,13 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "figure10": figure10,
     "table3": table3,
     "collects": collects_analysis,
+    "dims3": dims3,
 }
 
 
-def _accepted_kwargs(fn: Callable[..., ExperimentResult], kwargs: Dict[str, object]) -> Dict[str, object]:
+def _accepted_kwargs(
+    fn: Callable[..., ExperimentResult], kwargs: Dict[str, object]
+) -> Dict[str, object]:
     """The subset of ``kwargs`` that ``fn``'s signature declares."""
     params = inspect.signature(fn).parameters
     if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):

@@ -23,7 +23,7 @@ The cost model in :mod:`repro.perfmodel` and the multicore model in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
 

@@ -57,6 +57,7 @@ from repro.stencils.spec import StencilSpec
     label="Our",
     figure_order=3,
     supports_simulation=True,
+    simulation_dims=(1, 2, 3),
     description="transpose layout, single-step vector-set updates",
 )
 def profile_transpose(spec: StencilSpec, isa: str = "avx2") -> MethodProfile:
@@ -100,6 +101,7 @@ def profile_transpose(spec: StencilSpec, isa: str = "avx2") -> MethodProfile:
     label="Our (2 steps)",
     figure_order=4,
     supports_simulation=True,
+    simulation_dims=(1, 2, 3),
     uses_unroll=True,
     uses_schedule=True,
     description="transpose layout + m-step temporal computation folding",
@@ -159,7 +161,9 @@ def profile_folded(
                 counts.add(cls, value / m)
             else:
                 counts.add(cls, value)
-        reason = "non-linear stencil" if not spec.linear else "folding not arithmetically profitable"
+        reason = (
+            "non-linear stencil" if not spec.linear else "folding not arithmetically profitable"
+        )
         notes = f"in-register {m}-step update ({reason})"
     return MethodProfile(
         method="folded",

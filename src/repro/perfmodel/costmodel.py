@@ -29,7 +29,7 @@ from typing import Dict, Optional
 from repro.cache.analytic import estimate_traffic
 from repro.machine import MachineSpec
 from repro.perfmodel.profiles import MethodProfile
-from repro.simd.isa import InstructionClass, IsaSpec, isa_for
+from repro.simd.isa import IsaSpec, isa_for
 
 
 @dataclass
@@ -182,7 +182,9 @@ def estimate_performance(
         sweeps_per_step=profile.sweeps_per_step,
         temporal_reuse=profile.temporal_cache_reuse,
         extra_memory_sweeps_per_step=extra_mem_sweeps,
-        cores_sharing_l3=active_cores if active_cores <= machine.cores_per_socket else machine.cores_per_socket,
+        cores_sharing_l3=(
+            active_cores if active_cores <= machine.cores_per_socket else machine.cores_per_socket
+        ),
     )
 
     memory_cycles: Dict[str, float] = {}

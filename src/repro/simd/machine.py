@@ -18,7 +18,7 @@ FMAs, memory bandwidth) is the cost model's job
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

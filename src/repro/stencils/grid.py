@@ -9,7 +9,7 @@ only standardises how those arrays are created, padded and compared.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -153,7 +153,9 @@ class Grid:
 
     def with_values(self, values: np.ndarray) -> "Grid":
         """Return a new grid sharing boundary/aux but holding ``values``."""
-        return Grid(values=np.asarray(values, dtype=np.float64), boundary=self.boundary, aux=self.aux)
+        return Grid(
+            values=np.asarray(values, dtype=np.float64), boundary=self.boundary, aux=self.aux
+        )
 
     def nbytes(self) -> int:
         """Bytes occupied by the interior values (excludes halo and aux)."""

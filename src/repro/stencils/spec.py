@@ -28,7 +28,7 @@ re-assigned weights ``λ`` of the paper's folding matrix (Figure 4/5).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Sequence
 
 from repro.machine import MachineSpec
 from repro.study.hashing import freeze

@@ -66,7 +66,11 @@ def freeze(value: Any) -> Hashable:
     if isinstance(value, (set, frozenset)):
         return ("set", tuple(sorted(map(repr, value))))
     if callable(value):
-        return ("callable", getattr(value, "__module__", ""), getattr(value, "__qualname__", repr(value)))
+        return (
+            "callable",
+            getattr(value, "__module__", ""),
+            getattr(value, "__qualname__", repr(value)),
+        )
     return ("repr", repr(value))
 
 

@@ -11,8 +11,8 @@ in :mod:`repro.parallel.model` all consume the same :class:`TileSchedule`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, Tuple
 
 #: A half-open interval ``[start, stop)`` along one spatial dimension.
 Interval = Tuple[int, int]

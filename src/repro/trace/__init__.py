@@ -21,12 +21,18 @@ Replay is bit-identical to the interpreted sweep and produces identical
 ``backend="interpret"``).
 """
 
-from repro.trace.compiler import CompiledSweep1D, CompiledSweep2D, compile_sweep
+from repro.trace.compiler import (
+    CompiledSweep1D,
+    CompiledSweep2D,
+    CompiledSweep3D,
+    compile_sweep,
+)
 from repro.trace.recorder import TraceOp, TraceRecorder, TraceReg, TraceSegment
 
 __all__ = [
     "CompiledSweep1D",
     "CompiledSweep2D",
+    "CompiledSweep3D",
     "TraceOp",
     "TraceRecorder",
     "TraceReg",

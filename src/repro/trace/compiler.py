@@ -13,11 +13,12 @@ record-once/replay-many scheme:
    offsets, instruction class).  Recording is symbolic: no grid is needed and
    its cost is independent of the grid size.
 2. **Compile** — the trace becomes a straight-line batched NumPy program:
-   every virtual register turns into an array with a leading *block* axis
-   (all vector sets of the 1-D layout, or all ``vl × vl`` squares of the 2-D
-   grid), loads become gathers whose index arithmetic mirrors the interpreted
-   sweep's periodic addressing, and cross-block operands (the 2-D shifts
-   reuse) become rolls of the block axis.
+   every virtual register turns into an array with leading *block* axes
+   (all vector sets of the 1-D layout, all ``vl × vl`` squares of the 2-D
+   grid, or all (plane, square) positions of a 3-D grid), loads become
+   gathers whose index arithmetic mirrors the interpreted sweep's periodic
+   addressing, and cross-block operands (the 2-D/3-D shifts reuse) become
+   rolls of the column-block axis.
 3. **Replay** — one pass over the trace updates *every* block position at
    once.  Because each replayed instruction applies the identical ``float64``
    elementwise operation the machine would have applied per block, the result
@@ -41,7 +42,7 @@ from repro.simd.isa import IsaSpec
 from repro.simd.machine import InstructionCounts
 from repro.trace.recorder import TraceOp, TraceRecorder, TraceSegment
 
-__all__ = ["CompiledSweep1D", "CompiledSweep2D", "compile_sweep"]
+__all__ = ["CompiledSweep1D", "CompiledSweep2D", "CompiledSweep3D", "compile_sweep"]
 
 
 class _SegmentProgram:
@@ -219,7 +220,9 @@ class CompiledSweep1D:
         self._block_prog.run(env, load_fn=load_fn, store_fn=store_fn)
         return out_t
 
-    def sweep_counts(self, shape: Union[int, Sequence[int]]) -> Tuple[InstructionCounts, int, float]:
+    def sweep_counts(
+        self, shape: Union[int, Sequence[int]]
+    ) -> Tuple[InstructionCounts, int, float]:
         """Exact per-sweep ``(counts, peak_live, spills)`` for a length-``n`` grid.
 
         Derived as prologue + block-segment tallies × the number of vector
@@ -257,7 +260,7 @@ class CompiledSweep2D:
         self.transpose_back = transpose_back
         rec = TraceRecorder(isa)
         rec.begin_segment("prologue")
-        weights = schedule._sweep_2d_weight_vectors(rec)
+        weights = schedule._sweep_square_weight_vectors(rec)
         rec.begin_segment("vertical")
         vt = schedule._sweep_2d_vertical(
             rec, weights, load_row=lambda s: rec.emit_load(("row", s))
@@ -273,8 +276,8 @@ class CompiledSweep2D:
             ]
 
         prev_t, cur_t, next_t = stage_inputs(-1), stage_inputs(0), stage_inputs(+1)
-        out_cols = schedule._sweep_2d_horizontal(rec, weights, prev_t, cur_t, next_t)
-        schedule._sweep_2d_store(
+        out_cols = schedule._sweep_square_horizontal(rec, weights, prev_t, cur_t, next_t)
+        schedule._sweep_square_store(
             rec,
             out_cols,
             store=lambda oi, vec: rec.emit_store(("out_row", oi), vec),
@@ -352,12 +355,139 @@ class CompiledSweep2D:
         )
 
 
+class CompiledSweep3D:
+    """Batched replay of :meth:`FoldingSchedule.simd_sweep_3d`.
+
+    Same three segments as :class:`CompiledSweep2D` — ``prologue``,
+    ``vertical`` (full leading (plane, row) fold + register transpose of one
+    square) and ``horizontal`` — but the block axes are
+    ``(planes, row blocks, column blocks)``: replay evaluates ``vertical``
+    once for every square of every plane and resolves the shifts-reuse
+    operands of ``horizontal`` by rolling the column-block axis, exactly as
+    the 2-D replay does.
+    """
+
+    dims = 3
+
+    def __init__(self, schedule, isa: IsaSpec, transpose_back: bool = True):
+        if schedule.dims != 3:
+            raise ValueError("CompiledSweep3D applies to 3-D stencils only")
+        vl = isa.vector_lanes
+        if schedule.radius > vl:
+            raise ValueError("folded radius must not exceed the vector length")
+        self.schedule = schedule
+        self.isa = isa
+        self.vl = vl
+        self.transpose_back = transpose_back
+        rec = TraceRecorder(isa)
+        rec.begin_segment("prologue")
+        weights = schedule._sweep_square_weight_vectors(rec)
+        rec.begin_segment("vertical")
+        vt = schedule._sweep_3d_vertical(
+            rec, weights, load_row=lambda dz, s: rec.emit_load(("row", dz, s))
+        )
+        self._vt_out = [[reg.vid for reg in cols] for cols in vt]
+        rec.begin_segment("horizontal")
+        n_mat = len(vt)
+
+        def stage_inputs(delta: int):
+            return [
+                [rec.emit_input(("vt", delta, ci, k)) for k in range(vl)]
+                for ci in range(n_mat)
+            ]
+
+        prev_t, cur_t, next_t = stage_inputs(-1), stage_inputs(0), stage_inputs(+1)
+        out_cols = schedule._sweep_square_horizontal(rec, weights, prev_t, cur_t, next_t)
+        schedule._sweep_square_store(
+            rec,
+            out_cols,
+            store=lambda oi, vec: rec.emit_store(("out_row", oi), vec),
+            transpose_back=transpose_back,
+        )
+        self._prologue, self._vertical, self._horizontal = rec.segments
+        base_env: List[Optional[np.ndarray]] = [None] * rec.nregs
+        _SegmentProgram(self._prologue.ops, vl, keep=set(range(rec.nregs))).run(base_env)
+        self._base_env = base_env
+        vt_vids = {vid for cols in self._vt_out for vid in cols}
+        self._vertical_prog = _SegmentProgram(self._vertical.ops, vl, keep=vt_vids)
+        self._horizontal_prog = _SegmentProgram(self._horizontal.ops, vl)
+
+    def replay(self, values: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """One folded update of every ``vl × vl`` square of every plane at once."""
+        values = np.asarray(values, dtype=np.float64)
+        vl = self.vl
+        if values.ndim != 3:
+            raise ValueError("CompiledSweep3D.replay expects a 3-D grid")
+        planes, rows, cols = values.shape
+        if rows % vl != 0 or cols % vl != 0:
+            raise ValueError(
+                f"grid shape {values.shape} must be a multiple of vl={vl} "
+                "along its two innermost extents"
+            )
+        nrb, ncb = rows // vl, cols // vl
+        values = np.ascontiguousarray(values)
+        v5 = values.reshape(planes, nrb, vl, ncb, vl)
+        out = _check_contiguous_out(out, values)
+        out5 = out.reshape(planes, nrb, vl, ncb, vl)
+
+        def load_fn(tag):
+            _, dz, s = tag
+            if dz == 0 and 0 <= s < vl:
+                return v5[:, :, s]
+            zsel = (np.arange(planes) + dz) % planes
+            rowsel = (np.arange(nrb) * vl + s) % rows
+            return values[np.ix_(zsel, rowsel)].reshape(planes, nrb, ncb, vl)
+
+        env = list(self._base_env)
+        self._vertical_prog.run(env, load_fn=load_fn)
+        vt_arrays = [[env[vid] for vid in col_vids] for col_vids in self._vt_out]
+
+        def input_fn(tag):
+            _, delta, ci, k = tag
+            arr = vt_arrays[ci][k]
+            if delta == 0:
+                return arr
+            return np.roll(arr, -delta, axis=2)
+
+        def store_fn(tag, val):
+            _, oi = tag
+            out5[:, :, oi] = val
+
+        self._horizontal_prog.run(env, store_fn=store_fn, input_fn=input_fn)
+        if not self.transpose_back:
+            from repro.core.vectorized_folding import _untranspose_plane_tiles
+
+            out = _untranspose_plane_tiles(out, vl)
+        return out
+
+    def sweep_counts(self, shape: Sequence[int]) -> Tuple[InstructionCounts, int, float]:
+        """Exact per-sweep ``(counts, peak_live, spills)`` for a 3-D grid.
+
+        The vertical segment runs ``planes · n_row_blocks · (n_col_blocks +
+        2)`` times in the interpreted sweep (shifts reuse still primes every
+        block row of every plane with two extra squares) and the horizontal
+        segment once per square, which reproduces the interpreted tally
+        identically.
+        """
+        planes, rows, cols = shape
+        nrb, ncb = rows // self.vl, cols // self.vl
+        return _combine_counts(
+            [
+                (self._prologue, 1.0),
+                (self._vertical, float(planes * nrb * (ncb + 2))),
+                (self._horizontal, float(planes * nrb * ncb)),
+            ]
+        )
+
+
 def compile_sweep(schedule, isa: IsaSpec, transpose_back: bool = True):
     """Record and compile the SIMD sweep of ``schedule`` for ``isa``.
 
-    Returns a :class:`CompiledSweep1D` or :class:`CompiledSweep2D` according
-    to the schedule's dimensionality.  ``transpose_back`` mirrors the
-    :meth:`~repro.core.vectorized_folding.FoldingSchedule.simd_sweep_2d`
+    Returns a :class:`CompiledSweep1D`, :class:`CompiledSweep2D` or
+    :class:`CompiledSweep3D` according to the schedule's dimensionality.
+    ``transpose_back`` mirrors the
+    :meth:`~repro.core.vectorized_folding.FoldingSchedule.simd_sweep_2d` /
+    :meth:`~repro.core.vectorized_folding.FoldingSchedule.simd_sweep_3d`
     flag (ignored for 1-D schedules, which always stay in the transpose
     layout).
     """
@@ -365,4 +495,6 @@ def compile_sweep(schedule, isa: IsaSpec, transpose_back: bool = True):
         return CompiledSweep1D(schedule, isa)
     if schedule.dims == 2:
         return CompiledSweep2D(schedule, isa, transpose_back=transpose_back)
-    raise ValueError("trace compilation supports 1-D and 2-D schedules only")
+    if schedule.dims == 3:
+        return CompiledSweep3D(schedule, isa, transpose_back=transpose_back)
+    raise ValueError("trace compilation supports 1-D, 2-D and 3-D schedules only")

@@ -50,11 +50,17 @@ def format_table(
     if isinstance(rows[0], Mapping):
         if headers is None:
             headers = list(rows[0].keys())
-        body = [[_stringify(row.get(h, ""), float_fmt) for h in headers] for row in rows]  # type: ignore[union-attr]
+        body = [
+            [_stringify(row.get(h, ""), float_fmt) for h in headers]  # type: ignore[union-attr]
+            for row in rows
+        ]
     else:
         if headers is None:
             raise ValueError("headers are required when rows are sequences")
-        body = [[_stringify(cell, float_fmt) for cell in row] for row in rows]  # type: ignore[union-attr]
+        body = [
+            [_stringify(cell, float_fmt) for cell in row]  # type: ignore[union-attr]
+            for row in rows
+        ]
 
     headers = [str(h) for h in headers]
     widths = [len(h) for h in headers]

@@ -7,7 +7,6 @@ on the behaviour they verify.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.simd.isa import AVX2, AVX512

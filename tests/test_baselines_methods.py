@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.baselines.common import innermost_width, kernel_rows, streamed_arrays
@@ -11,7 +10,13 @@ from repro.baselines.dlt import dlt_run, dlt_run_1d, profile_dlt
 from repro.baselines.multiple_loads import profile_multiple_loads
 from repro.baselines.sdsl import profile_sdsl
 from repro.machine import XEON_GOLD_6140_AVX2
-from repro.methods import METHOD_KEYS, METHOD_LABELS, build_profile, profile_folded, profile_transpose
+from repro.methods import (
+    METHOD_KEYS,
+    METHOD_LABELS,
+    build_profile,
+    profile_folded,
+    profile_transpose,
+)
 from repro.stencils.boundary import BoundaryCondition
 from repro.stencils.grid import Grid
 from repro.stencils.library import (

@@ -10,11 +10,13 @@ from hypothesis import strategies as st
 from repro.cache.analytic import (
     STREAM_BYTES_PER_POINT,
     estimate_traffic,
+    neighborhood_working_set_bytes,
     problem_size_for_level,
     residency_level,
+    sweep_reuse_level,
 )
 from repro.cache.hierarchy import CacheConfig, hierarchy_from_machine, level_capacities
-from repro.cache.simulator import CacheHierarchySimulator
+from repro.cache.simulator import CacheHierarchySimulator, stencil_access_stream
 from repro.machine import XEON_GOLD_6140_AVX2
 
 
@@ -222,6 +224,76 @@ class TestVectorizedFrontEnd:
     def test_invalid_size_rejected(self):
         with pytest.raises(ValueError):
             _tiny_hierarchy().access_stream(np.array([0]), size=0)
+
+
+class TestStencilAccessStream:
+    """The dimension-generic sweep address stream (1-D/2-D/3-D)."""
+
+    @pytest.mark.parametrize("shape", [(64,), (8, 8), (4, 4, 4)])
+    def test_stream_equals_per_access_oracle(self, shape):
+        from repro.stencils.library import box_1d5p, heat_2d, heat_3d
+
+        spec = {1: box_1d5p, 2: heat_2d, 3: heat_3d}[len(shape)]()
+        offsets = sorted(spec.offsets_and_weights())
+        addrs, writes = stencil_access_stream(shape, offsets)
+        fast, oracle = _tiny_hierarchy(), _tiny_hierarchy()
+        fast.access_stream(addrs, is_write=writes)
+        for addr, w in zip(addrs.tolist(), writes.tolist()):
+            oracle.access(addr, 8, w)
+        for got, ref in zip(fast.levels, oracle.levels):
+            assert (got.hits, got.misses, got.evictions, got.writebacks) == (
+                ref.hits,
+                ref.misses,
+                ref.evictions,
+                ref.writebacks,
+            )
+        assert fast.dram_reads == oracle.dram_reads
+        assert fast.dram_writes == oracle.dram_writes
+
+    def test_stream_shape_reads_plus_one_write_per_point(self):
+        from repro.stencils.library import heat_3d
+
+        spec = heat_3d()
+        offsets = sorted(spec.offsets_and_weights())
+        addrs, writes = stencil_access_stream((4, 4, 4), offsets)
+        npoints = 64
+        assert addrs.size == npoints * (len(offsets) + 1)
+        assert int(writes.sum()) == npoints
+
+    def test_periodic_wrap_stays_in_bounds(self):
+        addrs, _ = stencil_access_stream((4, 4, 4), [(-1, 0, 0), (0, 0, 1)])
+        assert int(addrs.min()) >= 0
+        assert int(addrs.max()) < 2 * 64 * 8  # two arrays of 64 doubles
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="offset"):
+            stencil_access_stream((4, 4), [(0, 0, 1)])
+        with pytest.raises(ValueError, match="shape"):
+            stencil_access_stream((), [(0,)])
+        with pytest.raises(ValueError, match="offset"):
+            stencil_access_stream((4,), [])
+
+
+class TestNeighbourhoodWorkingSet:
+    def test_slab_grows_with_dimensionality(self):
+        # Same point count: the 3-D reuse slab (planes) dwarfs the 2-D one
+        # (rows), which dwarfs the 1-D one (points).
+        w1 = neighborhood_working_set_bytes((4096,), 1)
+        w2 = neighborhood_working_set_bytes((64, 64), 1)
+        w3 = neighborhood_working_set_bytes((16, 16, 16), 1)
+        assert w1 < w2 < w3
+
+    def test_paper_scale_3d_slab_spills_to_l3(self):
+        m = XEON_GOLD_6140_AVX2
+        assert sweep_reuse_level((400, 400, 400), m, 1) == "L3"
+        assert sweep_reuse_level((5000, 5000), m, 1) == "L2"
+        assert sweep_reuse_level((10_240_000,), m, 1) == "L1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            neighborhood_working_set_bytes((0, 4), 1)
+        with pytest.raises(ValueError):
+            neighborhood_working_set_bytes((4, 4), -1)
 
 
 class TestAnalyticModel:

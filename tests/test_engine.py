@@ -26,7 +26,9 @@ def _small_grid(case, boundary):
 class TestNumericalEquivalence:
     """Every method must reproduce the reference result on every benchmark."""
 
-    @pytest.mark.parametrize("method", ["multiple_loads", "data_reorg", "dlt", "transpose", "folded"])
+    @pytest.mark.parametrize(
+        "method", ["multiple_loads", "data_reorg", "dlt", "transpose", "folded"]
+    )
     @pytest.mark.parametrize("boundary", [BoundaryCondition.PERIODIC, BoundaryCondition.DIRICHLET])
     def test_methods_match_reference(self, benchmark_case, method, boundary):
         grid = _small_grid(benchmark_case, boundary)

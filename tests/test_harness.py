@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.harness.experiments import (
@@ -47,7 +46,8 @@ class TestFigure8:
         """Our 2-step method is the fastest at every storage level (paper Fig. 8)."""
         for time_steps in (1000, 10000):
             for level in STORAGE_LEVELS:
-                rows = {r["method"]: r["gflops"] for r in fig8.filter(level=level, time_steps=time_steps)}
+                filtered = fig8.filter(level=level, time_steps=time_steps)
+                rows = {r["method"]: r["gflops"] for r in filtered}
                 assert rows["folded"] == max(rows.values())
 
     def test_multiple_loads_is_never_fastest(self, fig8):
@@ -137,7 +137,9 @@ class TestFigure10AndTable3:
     def test_gflops_monotone_in_cores(self, fig10):
         for bench in {r["benchmark"] for r in fig10.rows}:
             for method in {r["method"] for r in fig10.filter(benchmark=bench)}:
-                rows = sorted(fig10.filter(benchmark=bench, method=method), key=lambda r: r["cores"])
+                rows = sorted(
+                    fig10.filter(benchmark=bench, method=method), key=lambda r: r["cores"]
+                )
                 gflops = [r["gflops"] for r in rows]
                 assert all(b >= a * 0.98 for a, b in zip(gflops, gflops[1:]))
 
@@ -169,7 +171,15 @@ class TestCollectsAndRunner:
         assert "Game of Life" not in rows and "APOP" not in rows
 
     def test_runner_registry(self):
-        assert set(EXPERIMENTS) == {"figure8", "table2", "figure9", "figure10", "table3", "collects"}
+        assert set(EXPERIMENTS) == {
+            "figure8",
+            "table2",
+            "figure9",
+            "figure10",
+            "table3",
+            "collects",
+            "dims3",
+        }
         result = run_experiment("collects")
         assert result.name == "collects"
         with pytest.raises(KeyError):

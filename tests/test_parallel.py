@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.machine import XEON_GOLD_6140_AVX2, XEON_GOLD_6140_AVX512
@@ -154,8 +153,12 @@ class TestMulticoreModel:
         tiling = TessellationConfig(block_sizes=(16, 16), time_range=4)
         config = MulticoreConfig(barrier_cycles=50000.0)
         small = (64, 64)
-        est1 = multicore_estimate(self._profile(), small, 100, XEON_GOLD_6140_AVX2, 1, 1, tiling, config)
-        est36 = multicore_estimate(self._profile(), small, 100, XEON_GOLD_6140_AVX2, 36, 1, tiling, config)
+        est1 = multicore_estimate(
+            self._profile(), small, 100, XEON_GOLD_6140_AVX2, 1, 1, tiling, config
+        )
+        est36 = multicore_estimate(
+            self._profile(), small, 100, XEON_GOLD_6140_AVX2, 36, 1, tiling, config
+        )
         assert est36.gflops / est36.frequency_ghz < 36 * est1.gflops / est1.frequency_ghz
 
     def test_invalid_inputs(self):

@@ -8,7 +8,6 @@ from repro.machine import XEON_GOLD_6140_AVX2
 from repro.methods import build_profile
 from repro.perfmodel.costmodel import estimate_performance, port_pressure_cycles
 from repro.perfmodel.flops import total_useful_gflop, useful_flops_per_point
-from repro.perfmodel.profiles import MethodProfile
 from repro.simd.isa import AVX2, AVX512, InstructionClass
 from repro.simd.machine import InstructionCounts
 from repro.stencils.library import apop, box_2d9p, heat_1d
@@ -77,7 +76,9 @@ class TestEstimatePerformance:
 
     def test_folding_beats_single_step_when_memory_bound(self):
         folded = estimate_performance(self._profile("folded"), 1 << 24, 1000, XEON_GOLD_6140_AVX2)
-        single = estimate_performance(self._profile("transpose"), 1 << 24, 1000, XEON_GOLD_6140_AVX2)
+        single = estimate_performance(
+            self._profile("transpose"), 1 << 24, 1000, XEON_GOLD_6140_AVX2
+        )
         assert folded.gflops > 1.5 * single.gflops
 
     def test_transpose_beats_multiple_loads_in_cache(self):

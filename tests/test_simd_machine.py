@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.simd.isa import AVX2, AVX512, InstructionClass, isa_for
-from repro.simd.machine import InstructionCounts, SimdMachine
+from repro.simd.machine import InstructionCounts
 from repro.simd.vector import Vector
 
 
@@ -161,8 +161,10 @@ class TestDataOrganization:
         b = Vector([5.0, 6.0, 7.0, 8.0])
         assert avx2_machine.exchange_blocks(a, b, 1, high=False) == avx2_machine.unpacklo(a, b)
         assert avx2_machine.exchange_blocks(a, b, 1, high=True) == avx2_machine.unpackhi(a, b)
-        assert avx2_machine.exchange_blocks(a, b, 2, high=False) == avx2_machine.permute2f128(a, b, 0, 2)
-        assert avx2_machine.exchange_blocks(a, b, 2, high=True) == avx2_machine.permute2f128(a, b, 1, 3)
+        low = avx2_machine.exchange_blocks(a, b, 2, high=False)
+        high = avx2_machine.exchange_blocks(a, b, 2, high=True)
+        assert low == avx2_machine.permute2f128(a, b, 0, 2)
+        assert high == avx2_machine.permute2f128(a, b, 1, 3)
 
     def test_exchange_blocks_invalid_block(self, avx2_machine):
         a = Vector.zeros(4)

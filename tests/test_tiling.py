@@ -103,8 +103,12 @@ class TestTessellationSchedule:
                 assert covered.max() <= 1
 
     def test_dirichlet_has_extra_edge_tiles(self):
-        periodic = build_tessellation((64,), 1, TessellationConfig((16,), 4), BoundaryCondition.PERIODIC)
-        dirichlet = build_tessellation((64,), 1, TessellationConfig((16,), 4), BoundaryCondition.DIRICHLET)
+        periodic = build_tessellation(
+            (64,), 1, TessellationConfig((16,), 4), BoundaryCondition.PERIODIC
+        )
+        dirichlet = build_tessellation(
+            (64,), 1, TessellationConfig((16,), 4), BoundaryCondition.DIRICHLET
+        )
         assert dirichlet.num_tiles == periodic.num_tiles + 1
 
     def test_streamed_dimension(self):
@@ -179,7 +183,10 @@ class TestTessellationExecution:
         np.testing.assert_array_equal(tessellate_run(spec, grid, 0, config), grid.values)
 
     @settings(deadline=None, max_examples=10)
-    @given(seed=st.integers(min_value=0, max_value=10_000), steps=st.integers(min_value=1, max_value=9))
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        steps=st.integers(min_value=1, max_value=9),
+    )
     def test_execution_property_1d(self, seed, steps):
         spec = heat_1d()
         grid = Grid.random((48,), seed=seed)
@@ -206,7 +213,9 @@ class TestSplitTiling:
     def test_cache_reuse_reflects_dlt_penalty(self):
         caches = [(lvl.name, lvl.capacity_bytes) for lvl in XEON_GOLD_6140_AVX2.caches]
         cfg = SplitTilingConfig(block_size=2000, time_range=8)
-        tight = split_tiling_cache_reuse(cfg, (10_240_000,), 1, 16.0, caches, dlt_locality_penalty=1.0)
+        tight = split_tiling_cache_reuse(
+            cfg, (10_240_000,), 1, 16.0, caches, dlt_locality_penalty=1.0
+        )
         penalised = split_tiling_cache_reuse(
             cfg, (10_240_000,), 1, 16.0, caches, dlt_locality_penalty=1e6
         )

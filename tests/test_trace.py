@@ -26,12 +26,20 @@ from repro.stencils.library import (
     general_box_2d9p,
     heat_1d,
     heat_2d,
+    heat_3d,
     symmetric_box_2d9p,
 )
-from repro.trace import CompiledSweep1D, CompiledSweep2D, TraceRecorder, compile_sweep
+from repro.trace import (
+    CompiledSweep1D,
+    CompiledSweep2D,
+    CompiledSweep3D,
+    TraceRecorder,
+    compile_sweep,
+)
 
 SPECS_1D = [heat_1d, box_1d5p]
 SPECS_2D = [heat_2d, box_2d9p, symmetric_box_2d9p, general_box_2d9p]
+SPECS_3D = [heat_3d, box_3d27p]
 ISAS = [AVX2, AVX512]
 
 
@@ -120,6 +128,48 @@ class TestBitIdentity2D:
         np.testing.assert_array_equal(got, ref)
 
 
+class TestBitIdentity3D:
+    @pytest.mark.parametrize("spec_factory", SPECS_3D)
+    @pytest.mark.parametrize("m", [1, 2])
+    @pytest.mark.parametrize("isa", ISAS, ids=lambda isa: isa.name)
+    def test_replay_matches_interpreted_sweep(self, spec_factory, m, isa):
+        sched = FoldingSchedule(spec_factory(), m)
+        vl = isa.vector_lanes
+        grid = Grid.random((5, 2 * vl, 3 * vl), seed=23)
+        machine = SimdMachine(isa)
+        ref = sched.simd_sweep_3d(machine, grid.values.copy())
+        compiled = compile_sweep(sched, isa)
+        got = compiled.replay(grid.values.copy())
+        np.testing.assert_array_equal(got, ref)
+
+    def test_combination_counterparts_bit_identical(self):
+        """heat_3d at m=3 materializes combination counterparts with both
+        reuse coefficients and a bias — the full vertical-fold surface."""
+        sched = FoldingSchedule(heat_3d(), 3)
+        assert any(cp.mode == "combination" and cp.omega for cp in sched.materialized)
+        grid = Grid.random((4, 8, 8), seed=24)
+        ref = sched.simd_sweep_3d(SimdMachine(AVX2), grid.values.copy())
+        got = compile_sweep(sched, AVX2).replay(grid.values.copy())
+        np.testing.assert_array_equal(got, ref)
+
+    @pytest.mark.parametrize("shape", [(1, 4, 4), (2, 4, 8), (3, 8, 4)])
+    def test_degenerate_block_counts_wrap_identically(self, shape):
+        """Single-plane / single-block grids make prev/cur/next alias — still exact."""
+        sched = FoldingSchedule(heat_3d(), 2)
+        grid = Grid.random(shape, seed=25)
+        ref = sched.simd_sweep_3d(SimdMachine(AVX2), grid.values.copy())
+        got = compile_sweep(sched, AVX2).replay(grid.values.copy())
+        np.testing.assert_array_equal(got, ref)
+
+    def test_transpose_back_false_matches_interpreted(self):
+        sched = FoldingSchedule(box_3d27p(), 2)
+        grid = Grid.random((3, 8, 8), seed=26)
+        ref = sched.simd_sweep_3d(SimdMachine(AVX2), grid.values.copy(), transpose_back=False)
+        compiled = compile_sweep(sched, AVX2, transpose_back=False)
+        got = compiled.replay(grid.values.copy())
+        np.testing.assert_array_equal(got, ref)
+
+
 class TestCountIdentity:
     @pytest.mark.parametrize("spec_factory,m", [(heat_1d, 2), (box_1d5p, 1)])
     def test_1d_counts_match_interpreted(self, spec_factory, m):
@@ -147,6 +197,21 @@ class TestCountIdentity:
         assert peak == machine.peak_live_registers
         assert spills == machine.spill_count
 
+    @pytest.mark.parametrize("spec_factory", SPECS_3D)
+    @pytest.mark.parametrize("isa", ISAS, ids=lambda isa: isa.name)
+    @pytest.mark.parametrize("transpose_back", [True, False])
+    def test_3d_counts_match_interpreted(self, spec_factory, isa, transpose_back):
+        sched = FoldingSchedule(spec_factory(), 2)
+        vl = isa.vector_lanes
+        grid = Grid.random((3, 2 * vl, 3 * vl), seed=27)
+        machine = SimdMachine(isa)
+        sched.simd_sweep_3d(machine, grid.values.copy(), transpose_back=transpose_back)
+        compiled = compile_sweep(sched, isa, transpose_back=transpose_back)
+        counts, peak, spills = compiled.sweep_counts(grid.values.shape)
+        assert counts.counts == machine.counts.counts
+        assert peak == machine.peak_live_registers
+        assert spills == machine.spill_count
+
     def test_spills_are_charged(self):
         """GB at m=2 exceeds the 16 AVX-2 registers, so spills must appear."""
         sched = FoldingSchedule(general_box_2d9p(), 2)
@@ -157,14 +222,17 @@ class TestCountIdentity:
 
 
 class TestPlanBackend:
-    @pytest.mark.parametrize("case", ["1d", "2d"])
+    @pytest.mark.parametrize("case", ["1d", "2d", "3d"])
     def test_simulate_backends_agree_exactly(self, case):
         if case == "1d":
             p = plan(heat_1d()).method("folded").unroll(2).compile()
             grid = Grid.random((5 * 16,), seed=14)
-        else:
+        elif case == "2d":
             p = plan(box_2d9p()).method("folded").unroll(2).compile()
             grid = Grid.random((16, 16), seed=14)
+        else:
+            p = plan(heat_3d()).method("folded").unroll(2).compile()
+            grid = Grid.random((4, 8, 8), seed=14)
         m_interp, m_trace = SimdMachine(AVX2), SimdMachine(AVX2)
         ref, _ = p.simulate(grid, 4, machine=m_interp, backend="interpret")
         got, _ = p.simulate(grid, 4, machine=m_trace, backend="trace")
@@ -229,17 +297,23 @@ class TestPlanBackend:
 
 
 class TestValidation:
-    def test_3d_schedules_rejected(self):
-        with pytest.raises(ValueError, match="1-D and 2-D"):
-            compile_sweep(FoldingSchedule(box_3d27p(), 1), AVX2)
+    def test_3d_schedules_compile(self):
+        compiled = compile_sweep(FoldingSchedule(box_3d27p(), 1), AVX2)
+        assert isinstance(compiled, CompiledSweep3D)
+        assert compiled.dims == 3
 
     def test_dimension_mismatch_rejected(self):
+        sched3 = FoldingSchedule(heat_3d(), 1)
         sched2 = FoldingSchedule(heat_2d(), 1)
         sched1 = FoldingSchedule(heat_1d(), 1)
         with pytest.raises(ValueError):
             CompiledSweep1D(sched2, AVX2)
         with pytest.raises(ValueError):
             CompiledSweep2D(sched1, AVX2)
+        with pytest.raises(ValueError):
+            CompiledSweep3D(sched2, AVX2)
+        with pytest.raises(ValueError):
+            CompiledSweep2D(sched3, AVX2)
 
     def test_radius_exceeding_vl_rejected(self):
         # 1d5p has radius 2; m=3 folds to radius 6 > vl=4.
@@ -255,6 +329,11 @@ class TestValidation:
             compiled2.replay(np.zeros((15, 16)))
         with pytest.raises(ValueError, match="2-D"):
             compiled2.replay(np.zeros(64))
+        compiled3 = compile_sweep(FoldingSchedule(heat_3d(), 1), AVX2)
+        with pytest.raises(ValueError, match="multiple"):
+            compiled3.replay(np.zeros((4, 15, 16)))
+        with pytest.raises(ValueError, match="3-D"):
+            compiled3.replay(np.zeros((16, 16)))
 
     def test_recorder_rejects_untagged_memory_traffic(self):
         rec = TraceRecorder(AVX2)

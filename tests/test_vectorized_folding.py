@@ -91,7 +91,9 @@ class TestNumpyStep:
 
 
 class TestSimd1D:
-    @pytest.mark.parametrize("spec_factory,m", [(heat_1d, 1), (heat_1d, 2), (box_1d5p, 1), (box_1d5p, 2)])
+    @pytest.mark.parametrize(
+        "spec_factory,m", [(heat_1d, 1), (heat_1d, 2), (box_1d5p, 1), (box_1d5p, 2)]
+    )
     def test_sweep_matches_reference(self, spec_factory, m):
         spec = spec_factory()
         sched = FoldingSchedule(spec, m)
@@ -137,7 +139,13 @@ class TestSimd1D:
 class TestSimd2D:
     @pytest.mark.parametrize(
         "spec_factory,m",
-        [(box_2d9p, 2), (symmetric_box_2d9p, 2), (heat_2d, 2), (general_box_2d9p, 2), (box_2d9p, 1)],
+        [
+            (box_2d9p, 2),
+            (symmetric_box_2d9p, 2),
+            (heat_2d, 2),
+            (general_box_2d9p, 2),
+            (box_2d9p, 1),
+        ],
     )
     def test_square_pipeline_matches_reference(self, spec_factory, m):
         spec = spec_factory()
@@ -175,6 +183,108 @@ class TestSimd2D:
         sched = FoldingSchedule(heat_1d(), 2)
         with pytest.raises(ValueError):
             sched.simd_sweep_2d(SimdMachine(AVX2), np.zeros((16, 16)))
+
+
+class TestSimd3D:
+    @pytest.mark.parametrize(
+        "spec_factory,m",
+        [(heat_3d, 1), (heat_3d, 2), (heat_3d, 3), (box_3d27p, 1), (box_3d27p, 2)],
+    )
+    def test_plane_pipeline_matches_reference(self, spec_factory, m):
+        """The 3-D sweep agrees with m applications of scipy.ndimage's
+        reference correlation (the reference executor) on periodic grids."""
+        spec = spec_factory()
+        sched = FoldingSchedule(spec, m)
+        machine = SimdMachine(AVX2)
+        grid = Grid.random((6, 8, 8), seed=18)
+        out = sched.simd_sweep_3d(machine, grid.values.copy())
+        ref = reference_run(spec, grid, m)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+    def test_sweep_avx512(self):
+        spec = box_3d27p()
+        sched = FoldingSchedule(spec, 2)
+        machine = SimdMachine(AVX512)
+        grid = Grid.random((4, 16, 16), seed=19)
+        out = sched.simd_sweep_3d(machine, grid.values.copy())
+        ref = reference_run(spec, grid, 2)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+    def test_transpose_back_false_equivalent_after_untiling(self):
+        spec = heat_3d()
+        sched = FoldingSchedule(spec, 2)
+        machine = SimdMachine(AVX2)
+        grid = Grid.random((4, 8, 8), seed=20)
+        out = sched.simd_sweep_3d(machine, grid.values.copy(), transpose_back=False)
+        ref = reference_run(spec, grid, 2)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+    def test_unused_leading_rows_are_not_loaded(self):
+        """The star stencil's folded kernel has all-zero leading rows; the
+        sweep must skip their loads (and the profile must agree)."""
+        sched = FoldingSchedule(heat_3d(), 1)
+        used = sched._leading_use_mask()
+        assert used.shape == (3, 3)
+        assert not used[0, 0] and not used[2, 2]
+        machine = SimdMachine(AVX2)
+        grid = Grid.random((4, 8, 8), seed=21)
+        dense = FoldingSchedule(box_3d27p(), 1)
+        machine_dense = SimdMachine(AVX2)
+        sched.simd_sweep_3d(machine, grid.values.copy())
+        dense.simd_sweep_3d(machine_dense, grid.values.copy())
+        assert machine.counts.get(InstructionClass.LOAD) < machine_dense.counts.get(
+            InstructionClass.LOAD
+        )
+
+    def test_rejects_unaligned_shape(self):
+        sched = FoldingSchedule(heat_3d(), 1)
+        with pytest.raises(ValueError):
+            sched.simd_sweep_3d(SimdMachine(AVX2), np.zeros((4, 15, 16)))
+
+    def test_rejects_2d_stencil(self):
+        sched = FoldingSchedule(heat_2d(), 2)
+        with pytest.raises(ValueError):
+            sched.simd_sweep_3d(SimdMachine(AVX2), np.zeros((4, 16, 16)))
+
+
+class TestCombinationCounterparts:
+    """Regression tests for the counterpart-reuse (omega) vertical folds.
+
+    No library stencil materializes a combination counterpart in 2-D, so
+    this kernel — whose folding matrix has a column equal to the difference
+    of two others — pins the orientation of the reused operands (they must
+    stay in row space until the final register transpose).
+    """
+
+    KERNEL_2D = np.array([[2.0, 2.0, 2.0], [3.0, 3.0, 0.0], [0.0, 0.0, 2.0]]) / 14.0
+
+    def _spec(self):
+        from repro.stencils.spec import StencilSpec
+
+        return StencilSpec(name="comb2d", kernel=self.KERNEL_2D)
+
+    def test_kernel_materializes_a_combination(self):
+        sched = FoldingSchedule(self._spec(), 2)
+        assert any(cp.mode == "combination" and cp.omega for cp in sched.materialized)
+
+    def test_2d_sweep_matches_reference(self):
+        sched = FoldingSchedule(self._spec(), 2)
+        grid = Grid.random((16, 16), seed=22)
+        out = sched.simd_sweep_2d(SimdMachine(AVX2), grid.values.copy())
+        ref = reference_run(self._spec(), grid, 2)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+    def test_3d_combination_with_bias_matches_reference(self):
+        """heat_3d at m=3 yields combinations with reuse weights AND a bias."""
+        sched = FoldingSchedule(heat_3d(), 3)
+        assert any(
+            cp.mode == "combination" and cp.omega and np.any(cp.bias)
+            for cp in sched.materialized
+        )
+        grid = Grid.random((4, 8, 8), seed=23)
+        out = sched.simd_sweep_3d(SimdMachine(AVX2), grid.values.copy())
+        ref = reference_run(heat_3d(), grid, 3)
+        np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-11)
 
 
 class TestInstructionProfile:
