@@ -13,13 +13,18 @@ previous PR's trajectory point).  The gate fails when:
 * any case present in the baseline has disappeared from the fresh artifact
   (a dimensionality silently dropping out of the benchmark would otherwise
   pass unnoticed), or
-* any fresh case's trace-over-interpret speedup is below the floor
-  (default 10×, the bar PR 3 established), or
+* any fresh trace-backend case's trace-over-interpret speedup is below the
+  floor (default 10×, the bar PR 3 established), or
+* any ``"kind": "pass-ablation"`` case fails its own gates: the optimizing
+  IR pipeline must reduce the simulated instruction count
+  (``count_reduction > 1``) and optimized replay must not grossly regress
+  (``replay_speedup`` at least 0.75 — the optimized program executes
+  strictly fewer ops, so only timing noise sits between it and parity), or
 * the fresh artifact lacks 2-D or 3-D coverage entirely.
 
 Absolute seconds are *not* gated — CI machines vary — only the relative
-speedup and the case coverage, which is what "no perf regression in the
-trajectory" means for a simulated-machine benchmark.
+speedups, count reductions and the case coverage, which is what "no perf
+regression in the trajectory" means for a simulated-machine benchmark.
 """
 
 from __future__ import annotations
@@ -32,6 +37,10 @@ from pathlib import Path
 #: Minimum trace-over-interpret speedup, matching
 #: benchmarks/test_simulation_speed.py's asserted floor.
 MIN_SPEEDUP = 10.0
+
+#: Minimum optimized-over-unoptimized replay speed for pass-ablation cases
+#: (a noise guard, not a perf claim — the count reduction is the real gate).
+MIN_ABLATION_SPEEDUP = 0.75
 
 
 def load_cases(path: Path) -> dict:
@@ -50,6 +59,20 @@ def check(current: dict, baseline: dict, min_speedup: float) -> list:
         if name not in current:
             problems.append(f"case {name!r} present in the baseline has disappeared")
     for name, case in sorted(current.items()):
+        if case.get("kind") == "pass-ablation":
+            reduction = float(case.get("count_reduction", 0.0))
+            replay = float(case.get("replay_speedup", 0.0))
+            if reduction <= 1.0:
+                problems.append(
+                    f"case {name!r}: IR pass pipeline no longer reduces the "
+                    f"instruction count (reduction {reduction:.3f}x)"
+                )
+            if replay < MIN_ABLATION_SPEEDUP:
+                problems.append(
+                    f"case {name!r}: optimized replay {replay:.2f}x is below the "
+                    f"{MIN_ABLATION_SPEEDUP:.2f}x noise floor"
+                )
+            continue
         speedup = float(case.get("speedup", 0.0))
         if speedup < min_speedup:
             problems.append(
@@ -86,7 +109,13 @@ def main(argv=None) -> int:
     print(f"baseline cases : {', '.join(sorted(baseline)) or '(none)'}")
     print(f"current cases  : {', '.join(sorted(current)) or '(none)'}")
     for name, case in sorted(current.items()):
-        print(f"  {name}: {float(case.get('speedup', 0.0)):.0f}x trace speedup")
+        if case.get("kind") == "pass-ablation":
+            print(
+                f"  {name}: {float(case.get('count_reduction', 0.0)):.3f}x count "
+                f"reduction, {float(case.get('replay_speedup', 0.0)):.2f}x replay"
+            )
+        else:
+            print(f"  {name}: {float(case.get('speedup', 0.0)):.0f}x trace speedup")
     if problems:
         for problem in problems:
             print(f"PERF GATE FAILURE: {problem}", file=sys.stderr)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.engine import StencilEngine
+from repro.core.plan import plan
 from repro.stencils.grid import Grid
 from repro.stencils.library import box_2d9p, get_benchmark
 from repro.stencils.reference import reference_run
@@ -35,27 +35,28 @@ def test_reference_executor(benchmark, grid):
 
 
 @pytest.mark.benchmark(group="executor-throughput")
-def test_folded_engine_executor(benchmark, grid):
-    engine = StencilEngine(box_2d9p(), method="folded", unroll=2)
-    result = benchmark(engine.run, grid, STEPS)
+def test_folded_plan_executor(benchmark, grid):
+    p = plan(box_2d9p()).method("folded").unroll(2).compile()
+    result = benchmark(p.run, grid, STEPS)
     assert result.shape == SHAPE
 
 
 @pytest.mark.benchmark(group="executor-throughput")
-def test_dlt_engine_executor(benchmark, grid):
-    engine = StencilEngine(box_2d9p(), method="dlt")
-    result = benchmark(engine.run, grid, STEPS)
+def test_dlt_plan_executor(benchmark, grid):
+    p = plan(box_2d9p()).method("dlt").compile()
+    result = benchmark(p.run, grid, STEPS)
     assert result.shape == SHAPE
 
 
 @pytest.mark.benchmark(group="executor-throughput")
 def test_tessellated_executor(benchmark, grid):
-    engine = StencilEngine(
-        box_2d9p(),
-        method="transpose",
-        tiling=TessellationConfig(block_sizes=(64, 64), time_range=4),
+    p = (
+        plan(box_2d9p())
+        .method("transpose")
+        .tile(TessellationConfig(block_sizes=(64, 64), time_range=4))
+        .compile()
     )
-    result = benchmark(engine.run, grid, STEPS)
+    result = benchmark(p.run, grid, STEPS)
     assert result.shape == SHAPE
 
 
@@ -63,6 +64,6 @@ def test_tessellated_executor(benchmark, grid):
 def test_apop_option_pricing_executor(benchmark):
     case = get_benchmark("apop")
     grid = case.make_grid((1 << 14,))
-    engine = StencilEngine(case.spec, method="folded", unroll=2)
-    result = benchmark(engine.run, grid, STEPS)
+    p = plan(case.spec).method("folded").unroll(2).compile()
+    result = benchmark(p.run, grid, STEPS)
     assert result.shape == grid.shape

@@ -22,9 +22,8 @@ Quick start
 
 Methods are looked up in a pluggable registry
 (:mod:`repro.registry`); register new backends with
-:func:`~repro.registry.register_method`.  The legacy
-:class:`~repro.core.engine.StencilEngine` remains as a deprecated wrapper
-over the plan API.
+:func:`~repro.registry.register_method`.  (The legacy ``StencilEngine``
+wrapper was removed in 1.5 — see the README migration table.)
 
 Simulated execution (:meth:`~repro.core.plan.CompiledPlan.simulate`) defaults
 to the trace-replay backend of :mod:`repro.trace`: the register-level
@@ -61,7 +60,6 @@ from repro.registry import (
     register_method,
 )
 from repro.core.plan import CompiledPlan, PlanBuilder, PlanConfig, plan
-from repro.core.engine import StencilEngine, EngineConfig
 from repro.parallel.executor import map_ordered, run_plan_batch
 from repro.study import (
     EvalCache,
@@ -80,7 +78,14 @@ from repro.stencils.library import BENCHMARKS, BenchmarkCase, get_benchmark
 from repro.stencils.reference import reference_run, reference_step
 from repro.tiling.tessellate import TessellationConfig, tessellate_run
 from repro.perfmodel.costmodel import estimate_performance, PerformanceEstimate
+from repro.ir import (
+    DEFAULT_PASSES,
+    PassManager,
+    ScheduleIR,
+    lower_schedule,
+)
 from repro.trace import (
+    CompiledSweep,
     CompiledSweep1D,
     CompiledSweep2D,
     CompiledSweep3D,
@@ -88,7 +93,7 @@ from repro.trace import (
     compile_sweep,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "MachineSpec",
@@ -110,8 +115,6 @@ __all__ = [
     "PlanConfig",
     "CompiledPlan",
     "run_plan_batch",
-    "StencilEngine",
-    "EngineConfig",
     "analyze_folding",
     "profitability",
     "folding_matrix",
@@ -129,9 +132,14 @@ __all__ = [
     "tessellate_run",
     "estimate_performance",
     "PerformanceEstimate",
+    "CompiledSweep",
     "CompiledSweep1D",
     "CompiledSweep2D",
     "CompiledSweep3D",
+    "ScheduleIR",
+    "lower_schedule",
+    "PassManager",
+    "DEFAULT_PASSES",
     "study",
     "StudyBuilder",
     "ResultSet",

@@ -11,7 +11,11 @@ Real hardware counters are unavailable here, so this subpackage provides:
   write-allocate LRU simulator used on small grids to validate the analytic
   model and to expose locality differences between data layouts,
 * :mod:`repro.cache.analytic` — a working-set traffic model used at the
-  paper's problem sizes (where exact simulation from Python is infeasible).
+  paper's problem sizes (where exact simulation from Python is infeasible),
+* :mod:`repro.cache.irprofile` — the register-level schedules' own memory
+  profile and exact byte-address streams, expanded from the typed IR's
+  load/store tags (:mod:`repro.ir`) so the cache picture, the replay and
+  the instruction tallies all come from one program.
 """
 
 from repro.cache.hierarchy import CacheConfig, hierarchy_from_machine
@@ -27,8 +31,11 @@ from repro.cache.analytic import (
     residency_level,
     sweep_reuse_level,
 )
+from repro.cache.irprofile import ir_access_stream, ir_memory_profile
 
 __all__ = [
+    "ir_access_stream",
+    "ir_memory_profile",
     "CacheConfig",
     "hierarchy_from_machine",
     "CacheHierarchySimulator",

@@ -14,9 +14,11 @@
 * :mod:`repro.core.plan` — the compile-once/run-many public API:
   :func:`~repro.core.plan.plan` (fluent builder) and
   :class:`~repro.core.plan.CompiledPlan` tying methods, tiling, batching and
-  the performance model together,
-* :mod:`repro.core.engine` — :class:`~repro.core.engine.StencilEngine`, the
-  deprecated back-compat wrapper over the plan API.
+  the performance model together.
+
+(The deprecated ``StencilEngine`` wrapper was removed in 1.5; migrate with
+the README's table — ``StencilEngine(spec, method=..., ...)`` becomes
+``repro.plan(spec).method(...)....compile()``.)
 """
 
 from repro.core.folding import (
@@ -36,7 +38,6 @@ from repro.core.counterparts import (
 from repro.core.regression import CounterpartPlan, CounterpartStep, plan_counterparts
 from repro.core.shifts_reuse import ShiftsReuseReport, shifts_reuse_report
 from repro.core.plan import CompiledPlan, PlanBuilder, PlanConfig, plan
-from repro.core.engine import StencilEngine, EngineConfig
 
 __all__ = [
     "CompiledPlan",
@@ -58,6 +59,4 @@ __all__ = [
     "plan_counterparts",
     "ShiftsReuseReport",
     "shifts_reuse_report",
-    "StencilEngine",
-    "EngineConfig",
 ]

@@ -27,8 +27,8 @@ central design point — and splits configuration from execution:
    :meth:`~CompiledPlan.estimate`, :meth:`~CompiledPlan.folding_report` and
    :meth:`~CompiledPlan.explain`.
 
-The legacy :class:`~repro.core.engine.StencilEngine` is a deprecated thin
-wrapper over this API.
+(The legacy ``StencilEngine`` facade that used to wrap this API was
+removed; the migration table lives in the README.)
 """
 
 from __future__ import annotations
@@ -369,6 +369,7 @@ class CompiledPlan:
         steps: int,
         machine: Optional[SimdMachine] = None,
         backend: str = "trace",
+        optimize: Union[bool, Sequence, None] = False,
     ) -> Tuple[np.ndarray, InstructionCounts]:
         """Execute the register-level schedule on the simulated SIMD machine.
 
@@ -392,18 +393,36 @@ class CompiledPlan:
             plan's ISA is created when omitted.  Counts accumulate on the
             machine across calls with either backend.
         backend:
-            ``"trace"`` (the default) records the per-block instruction trace
+            ``"trace"`` (the default) lowers the schedule to the typed IR
             once, compiles it to a batched NumPy program (cached on the plan)
             and replays it over all block positions per sweep — bit-identical
             values and identical instruction counts, typically orders of
             magnitude faster.  ``"interpret"`` executes the schedule one
             simulated instruction at a time (the oracle the trace backend is
             tested against).
+        optimize:
+            IR pass-pipeline selection for the trace backend.  ``False`` (the
+            default) replays the recorded program as-is — counts identical to
+            the interpreter.  ``True`` runs the default optimizing pipeline
+            (:data:`repro.ir.passes.DEFAULT_PASSES`); a sequence of pass
+            names/callables runs a custom pipeline.  Optimized replay stays
+            bit-identical to interpreted execution but accounts the
+            optimized program's own (smaller) instruction tally.  The
+            unoptimized, default-optimized and named-pass variants are each
+            compiled at most once and cached side by side on the plan;
+            pipelines containing custom callables are compiled per call (an
+            empty pass selection means "no optimization").
         """
         if backend not in ("trace", "interpret"):
             raise ValueError(
                 f"unknown simulation backend {backend!r}; expected 'trace' or 'interpret'"
             )
+        if optimize is not True and not optimize:
+            # False, None and an explicitly empty pass sequence all mean "no
+            # optimization" — one spelling, one cache entry.
+            optimize = False
+        if backend == "interpret" and optimize is not False:
+            raise ValueError("optimize= applies to the trace backend only")
         if not self.descriptor.supports_simulation:
             raise ValueError(
                 f"method {self.config.method!r} does not support simulated execution"
@@ -427,7 +446,7 @@ class CompiledPlan:
 
         if backend == "trace":
             sweeps = steps // m
-            compiled = self._compiled_sweep(schedule, machine.isa, grid.dims)
+            compiled = self._compiled_sweep(schedule, machine.isa, grid.dims, optimize)
             if grid.dims == 1:
                 data = to_transpose_layout(values, vl)
                 for _ in range(sweeps):
@@ -452,20 +471,38 @@ class CompiledPlan:
             values = sweep(machine, values)
         return values, machine.counts
 
-    def _compiled_sweep(self, schedule: FoldingSchedule, isa: IsaSpec, dims: int):
-        """The cached trace-compiled sweep for ``(isa, dims)``.
+    def _compiled_sweep(
+        self,
+        schedule: FoldingSchedule,
+        isa: IsaSpec,
+        dims: int,
+        optimize: Union[bool, Sequence, None] = False,
+    ):
+        """The cached IR-compiled sweep for ``(isa, dims, optimize)``.
 
-        Compiled at most once per plan and ISA — the record/compile step is
-        grid-shape independent, so every subsequent simulate() call (and
-        every step within one) reuses it.
+        Compiled at most once per plan, ISA and pass selection — the
+        lower/optimize/compile step is grid-shape independent, so every
+        subsequent simulate() call (and every step within one) reuses it.
+        Unoptimized and optimized variants are cached side by side.
         """
-        key = (isa.name, dims)
+        if optimize is False or optimize is None:
+            opt_key: object = "none"
+        else:
+            from repro.ir.passes import pipeline_key
+
+            opt_key = pipeline_key(optimize)
+        if isinstance(opt_key, tuple) and not all(isinstance(p, str) for p in opt_key):
+            # Pipelines containing custom callables are compiled fresh —
+            # caching them would retain one CompiledSweep (and the closure it
+            # keys on) per distinct callable for the plan's lifetime.
+            return compile_sweep(schedule, isa, optimize=optimize)
+        key = (isa.name, dims, opt_key)
         compiled = self._trace_cache.get(key)
         if compiled is None:
             with self._trace_lock:
                 compiled = self._trace_cache.get(key)
                 if compiled is None:
-                    compiled = compile_sweep(schedule, isa)
+                    compiled = compile_sweep(schedule, isa, optimize=optimize)
                     self._trace_cache[key] = compiled
         return compiled
 
@@ -582,6 +619,9 @@ class CompiledPlan:
                 f"  schedule       : folded radius {self.schedule.radius}, "
                 f"{self.schedule.num_materialized} materialized counterpart(s), {variant}"
             )
+        ir_line = self._ir_pipeline_description()
+        if ir_line is not None:
+            lines.append(f"  ir pipeline    : {ir_line}")
         try:
             profile = self.profile()
         except (TypeError, ValueError):
@@ -602,6 +642,36 @@ class CompiledPlan:
                 f"P={report.profitability_optimized:.1f}"
             )
         return "\n".join(lines)
+
+    def _ir_pipeline_description(self) -> Optional[str]:
+        """Pass-by-pass static count deltas of the default IR pipeline.
+
+        ``None`` when the plan has no register-level schedule to lower (the
+        method does not simulate, the stencil's dimensionality is not
+        covered, or the folded radius exceeds the vector length).
+        """
+        if (
+            self.schedule is None
+            or not self.descriptor.supports_simulation
+            or self.spec.dims not in self.descriptor.simulation_dims
+        ):
+            return None
+        try:
+            compiled = self._compiled_sweep(
+                self.schedule, self.isa_spec, self.spec.dims, optimize=True
+            )
+        except ValueError:
+            return None
+        reports = compiled.pass_reports
+        if not reports:
+            return None
+        before = reports[0].counts_before.total
+        after = reports[-1].counts_after.total
+        effective = [
+            r.describe() for r in reports if r.removed or r.spills_after != r.spills_before
+        ]
+        detail = "; ".join(effective) if effective else "no pass fired"
+        return f"{before:g} → {after:g} static ops ({detail})"
 
     def _path_description(self) -> str:
         if self.descriptor.describe_path is not None:

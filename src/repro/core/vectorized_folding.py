@@ -218,7 +218,7 @@ class FoldingSchedule:
         the single-step reference; for Dirichlet boundaries interior points at
         distance ``>= (m-1)·r`` from the boundary are exact and the engine
         recomputes the remaining band (see
-        :meth:`repro.core.engine.StencilEngine.run`).
+        the folded executor in :mod:`repro.core.plan`).
         """
         values = np.asarray(values, dtype=np.float64)
         if values.ndim != self.dims:
@@ -737,22 +737,101 @@ class FoldingSchedule:
     def instruction_profile(self, vl: int, shifts_reuse: bool = True) -> InstructionCounts:
         """Per-grid-point, per-*logical*-time-step instruction counts.
 
-        The counts describe the steady-state inner loop of the 2-D square
-        pipeline (1-D stencils use the vector-set formulation, 3-D stencils
-        process ``vl × vl`` squares per plane with the extra leading
-        dimension folded into the vertical phase).  They are divided by
+        The counts describe the steady-state inner loop of the register-level
+        schedule (1-D stencils use the vector-set formulation, 2-D/3-D
+        stencils the ``vl × vl`` square pipeline).  They are divided by
         ``vl² · m`` so the cost model can multiply by the number of points and
         time steps directly.
+
+        Whenever the schedule can be lowered (``radius <= vl`` on a known
+        ISA), the profile is derived from the typed IR after the default
+        optimizing pass pipeline ran — the very ops
+        ``simulate(..., optimize=True)`` replays and tallies — so the cost
+        model's "estimated" counts and the trace backend's "simulated"
+        counts come from one source and cannot drift apart.  (The pipeline's
+        spill-aware re-scheduler matters here: the recorded program's
+        conservative liveness would charge spills a well-scheduled kernel
+        never pays.)  Schedules the register-level constructions cannot
+        express (folded radius beyond the vector length) fall back to the
+        closed-form model.
 
         Parameters
         ----------
         vl:
-            Vector length of the target ISA.
+            Vector length of the target ISA (4 → AVX-2, 8 → AVX-512).
         shifts_reuse:
             Whether the trailing transposed counterparts of the previous
-            square are reused (Section 3.4); disabling it charges the extra
-            vertical folds, which is what the ablation benchmark measures.
+            square are reused (Section 3.4); disabling it charges the
+            proportional share of the vertical phase again, which is what
+            the ablation benchmark measures.
         """
+        ir = self.schedule_ir(vl, optimize=True)
+        if ir is not None:
+            return self._ir_instruction_profile(ir, shifts_reuse)
+        return self._analytic_instruction_profile(vl, shifts_reuse)
+
+    def schedule_ir(self, vl: int, optimize: bool = False):
+        """The schedule's cached :class:`~repro.ir.ops.ScheduleIR` for a lane width.
+
+        This is the canonical per-schedule lowering cache — the instruction
+        profile reads it and :func:`repro.ir.executor.compile_sweep` shares
+        it, so the recording runs once per (schedule, ISA).  Returns ``None``
+        when the register-level constructions cannot express the schedule
+        (unknown lane width, or folded radius beyond ``vl``).
+        ``optimize=True`` returns the default-pipeline-optimized program
+        (cached separately from the raw recording).
+        """
+        from repro.simd.isa import AVX2, AVX512
+
+        isa = {4: AVX2, 8: AVX512}.get(int(vl))
+        if isa is None or self.radius > vl:
+            return None
+        cache = getattr(self, "_ir_cache", None)
+        if cache is None:
+            cache = {}
+            self._ir_cache = cache
+        key = (isa.name, bool(optimize))
+        ir = cache.get(key)
+        if ir is None:
+            from repro.ir.lower import lower_schedule
+            from repro.ir.passes import PassManager
+
+            ir = cache.get((isa.name, False))
+            if ir is None:
+                ir = lower_schedule(self, isa)
+                cache[(isa.name, False)] = ir
+            if optimize:
+                ir, _reports = PassManager(True).run(ir)
+                cache[key] = ir
+        return ir
+
+    def _ir_instruction_profile(self, ir, shifts_reuse: bool) -> InstructionCounts:
+        """Steady-state per-point counts derived from the lowered IR.
+
+        With shifts reuse this is exactly
+        :meth:`~repro.ir.ops.ScheduleIR.steady_counts_per_point`.  Without
+        it, every square recomputes the ``R`` leading transposed columns its
+        successor would otherwise hand over, so the whole vertical phase
+        (folds, transposes, row loads and its share of spill traffic) is
+        charged again proportionally (``1 + R/vl``).
+        """
+        if shifts_reuse or self.dims == 1:
+            return ir.steady_counts_per_point()
+        vl = ir.vl
+        counts = InstructionCounts()
+        for seg in ir.segments:
+            if seg.trip == "once":
+                continue
+            seg_counts = seg.counts()
+            if seg.trip == "vertical":
+                seg_counts = seg_counts.scaled(1.0 + self.radius / vl)
+            counts = counts.merge(seg_counts)
+        return counts.scaled(1.0 / (vl * vl * self.m))
+
+    def _analytic_instruction_profile(
+        self, vl: int, shifts_reuse: bool = True
+    ) -> InstructionCounts:
+        """Closed-form fallback profile for schedules the IR cannot express."""
         counts = InstructionCounts()
         radius = self.radius
         width = self.width

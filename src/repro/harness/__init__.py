@@ -14,6 +14,8 @@ Figure 9    :func:`repro.harness.experiments.figure9` — multicore
 Figure 10   :func:`repro.harness.experiments.figure10` — scalability curves
 Table 3     :func:`repro.harness.experiments.table3` — 36-core speedups over
             a single core
+(extra)     :func:`repro.harness.experiments.pass_ablation` — IR
+            pass-pipeline count reductions per stencil × ISA
 ==========  ===============================================================
 
 :mod:`repro.harness.runner` exposes a registry keyed by those names and
@@ -30,6 +32,7 @@ from repro.harness.experiments import (
     table3,
     collects_analysis,
     dims3,
+    pass_ablation,
 )
 from repro.harness.runner import EXPERIMENTS, run_experiment, run_all
 from repro.harness.report import format_experiment
@@ -43,6 +46,7 @@ __all__ = [
     "table3",
     "collects_analysis",
     "dims3",
+    "pass_ablation",
     "EXPERIMENTS",
     "run_experiment",
     "run_all",

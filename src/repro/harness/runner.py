@@ -39,6 +39,7 @@ from repro.harness.experiments import (
     figure8,
     figure9,
     figure10,
+    pass_ablation,
     table2,
     table3,
 )
@@ -58,6 +59,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table3": table3,
     "collects": collects_analysis,
     "dims3": dims3,
+    "pass_ablation": pass_ablation,
 }
 
 

@@ -1,0 +1,56 @@
+"""Schedule IR: the typed vector IR behind the execution stack.
+
+The IR is the single source of truth for everything downstream of a
+register-level folding schedule:
+
+* :mod:`repro.ir.ops` — the typed IR (:class:`IrOp` /
+  :class:`IrSegment` / :class:`ScheduleIR`) with derived instruction
+  accounting,
+* :mod:`repro.ir.lower` — :func:`lower_schedule`, producing the IR once per
+  ``(schedule, isa, dims)`` by running the schedule's own pipeline pieces
+  against the trace recorder,
+* :mod:`repro.ir.passes` — the optimizing pass pipeline
+  (:class:`PassManager`; CSE, shuffle coalescing, multiply–add fusion, DCE,
+  spill-aware re-scheduling), every pass preserving bit-identical replay,
+* :mod:`repro.ir.executor` — :class:`CompiledSweep`, the dimension-generic
+  batched replay engine (:func:`compile_sweep`).
+
+Consumers: :meth:`repro.core.plan.CompiledPlan.simulate` replays the IR,
+:class:`~repro.simd.machine.InstructionCounts` are derived from it, the
+port-pressure cost model reads its steady-state per-point mix
+(:meth:`ScheduleIR.steady_counts_per_point` via
+:meth:`~repro.core.vectorized_folding.FoldingSchedule.instruction_profile`)
+and the cache layer expands its memory tags into exact address streams
+(:mod:`repro.cache.irprofile`).
+"""
+
+from repro.ir.executor import CompiledSweep, compile_sweep
+from repro.ir.lower import lower_schedule
+from repro.ir.ops import IrOp, IrSegment, ScheduleIR
+from repro.ir.passes import (
+    DEFAULT_PASSES,
+    PassManager,
+    PassReport,
+    coalesce_shuffles,
+    common_subexpression_elimination,
+    dead_code_elimination,
+    fuse_multiply_add,
+    reschedule_register_pressure,
+)
+
+__all__ = [
+    "IrOp",
+    "IrSegment",
+    "ScheduleIR",
+    "lower_schedule",
+    "CompiledSweep",
+    "compile_sweep",
+    "PassManager",
+    "PassReport",
+    "DEFAULT_PASSES",
+    "common_subexpression_elimination",
+    "coalesce_shuffles",
+    "fuse_multiply_add",
+    "dead_code_elimination",
+    "reschedule_register_pressure",
+]

@@ -117,6 +117,14 @@ class IsaSpec:
         ISAs); kept for documentation purposes.
     timings:
         Per-class instruction timings.
+    has_fma:
+        Whether the ISA has fused multiply-add (both modelled ISAs do); the
+        IR's multiply–add fusion pass is gated on it.
+    has_two_source_permute:
+        Whether the ISA has an arbitrary two-source lane-crossing permute
+        (``vpermt2pd`` — AVX-512 only; AVX-2's ``vperm2f128`` is
+        block-granular).  Gates the IR's roll/shift coalescing of
+        blend+rotate pairs into single two-source permutes.
     """
 
     name: str
@@ -124,6 +132,8 @@ class IsaSpec:
     registers: int
     lane_bytes: int
     timings: Mapping[InstructionClass, InstructionTiming]
+    has_fma: bool = True
+    has_two_source_permute: bool = False
 
     @property
     def vector_bytes(self) -> int:
@@ -179,6 +189,7 @@ AVX512 = IsaSpec(
     registers=32,
     lane_bytes=16,
     timings=_skylake_timings(avx512=True),
+    has_two_source_permute=True,
 )
 
 

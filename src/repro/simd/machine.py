@@ -30,36 +30,50 @@ from repro.simd.vector import Vector
 class InstructionCounts:
     """Tally of executed instructions by class.
 
-    The tally is a plain mapping plus a few derived conveniences.  Counts are
-    floats so that analytically derived per-point averages (which may be
-    fractional) can reuse the same container.
+    The tally is a plain mapping plus a few derived conveniences.  Executed
+    instructions are counted with integers and stay integral through
+    :meth:`add`, :meth:`merge`, :meth:`scaled` and
+    :meth:`SimdMachine.absorb` (integral round-trips are exact); analytically
+    derived per-point averages may be fractional and reuse the same
+    container with ``float`` values.
     """
 
     counts: Dict[InstructionClass, float] = field(default_factory=dict)
 
-    def add(self, cls: InstructionClass, n: float = 1.0) -> None:
-        """Add ``n`` instructions of class ``cls``."""
-        self.counts[cls] = self.counts.get(cls, 0.0) + n
+    def add(self, cls: InstructionClass, n: float = 1) -> None:
+        """Add ``n`` instructions of class ``cls`` (integral ``n`` stays exact)."""
+        self.counts[cls] = self.counts.get(cls, 0) + n
 
     def get(self, cls: InstructionClass) -> float:
         """Return the count for ``cls`` (0 when never executed)."""
-        return self.counts.get(cls, 0.0)
+        return self.counts.get(cls, 0)
 
     def merge(self, other: "InstructionCounts") -> "InstructionCounts":
-        """Return a new tally holding the sum of ``self`` and ``other``."""
+        """Return a new tally holding the sum of ``self`` and ``other``.
+
+        Integral counts merge to integral counts (``int + int`` stays
+        ``int``); mixing with fractional counts yields floats as usual.
+        """
         out = InstructionCounts(dict(self.counts))
         for cls, n in other.counts.items():
             out.add(cls, n)
         return out
 
     def scaled(self, factor: float) -> "InstructionCounts":
-        """Return a new tally with every count multiplied by ``factor``."""
+        """Return a new tally with every count multiplied by ``factor``.
+
+        A whole-number ``factor`` (``3`` or ``3.0``) keeps integral counts
+        integral — trace replay scales per-segment tallies by block counts
+        and must round-trip exactly through :meth:`SimdMachine.absorb`.
+        """
+        if isinstance(factor, float) and factor.is_integer():
+            factor = int(factor)
         return InstructionCounts({cls: n * factor for cls, n in self.counts.items()})
 
     @property
     def total(self) -> float:
-        """Total instructions across all classes."""
-        return float(sum(self.counts.values()))
+        """Total instructions across all classes (integral when the tally is)."""
+        return sum(self.counts.values())
 
     @property
     def arithmetic(self) -> float:
@@ -142,7 +156,7 @@ class SimdMachine:
         self._peak_live = 0
         self._spills = 0.0
 
-    def _count(self, cls: InstructionClass, n: float = 1.0) -> None:
+    def _count(self, cls: InstructionClass, n: float = 1) -> None:
         self.counts.add(cls, n)
 
     def note_live_registers(self, live: int) -> None:

@@ -17,7 +17,7 @@ boundary is treated consistently.  Two conditions are supported:
     :data:`DIRICHLET_VALUE`, zero by default) that never changes.  Folded
     executors must recompute a band of width ``(m-1)·r`` next to the boundary
     step-by-step to stay exactly equivalent (ghost-zone handling); the engine
-    in :mod:`repro.core.engine` does so.
+    in :mod:`repro.core.plan` does so.
 """
 
 from __future__ import annotations

@@ -108,7 +108,7 @@ def folded_reference_step(
     steps everywhere; for Dirichlet boundaries it is exact only at interior
     points at distance ``>= (m - 1) * r`` from the boundary — the engine
     recomputes the remaining band step-by-step (see
-    :mod:`repro.core.engine`).  Only defined for linear stencils.
+    the folded executor in :mod:`repro.core.plan`).  Only defined for linear stencils.
     """
     folded = spec.compose(m)
     return linear_sum(folded, values, boundary)

@@ -1,27 +1,30 @@
-"""Trace-compiled simulation: record-once/replay-many SIMD sweeps.
+"""Trace recording: lowering register-level schedules to the typed IR.
 
 The interpreted simulator executes register-level schedules one Python
 ``Vector`` instruction at a time, which is exact but caps the grid sizes a
-``simulate()`` call can afford.  This package removes the per-instruction
-Python overhead without giving up exactness:
+``simulate()`` call can afford.  This package holds the *recording* half of
+the record-once/replay-many scheme:
 
 * :mod:`repro.trace.recorder` — a :class:`~repro.trace.recorder.TraceRecorder`
-  proxy machine that captures the per-block instruction trace of a
-  :class:`~repro.core.vectorized_folding.FoldingSchedule` sweep (opcode,
-  operand slots, block-relative grid offsets, instruction class) by running
-  the schedule's own pipeline pieces symbolically,
-* :mod:`repro.trace.compiler` — compiles that trace into a batched NumPy
-  program replaying it over *all* block positions at once
-  (:func:`compile_sweep`), with instruction counts derived analytically from
-  the trace times the block count (spill accounting included).
+  proxy machine that captures the per-block instruction stream of a
+  :class:`~repro.core.vectorized_folding.FoldingSchedule` sweep as typed
+  :class:`~repro.ir.ops.IrOp` segments by running the schedule's own
+  pipeline pieces symbolically.
 
-Replay is bit-identical to the interpreted sweep and produces identical
-:class:`~repro.simd.machine.InstructionCounts`; it is the default backend of
-:meth:`repro.core.plan.CompiledPlan.simulate` (opt out with
-``backend="interpret"``).
+Compilation and replay live in :mod:`repro.ir`: the recorded segments become
+a :class:`~repro.ir.ops.ScheduleIR` (:func:`repro.ir.lower.lower_schedule`),
+optionally rewritten by the optimizing pass pipeline
+(:mod:`repro.ir.passes`), and executed by the dimension-generic
+:class:`~repro.ir.executor.CompiledSweep`.  Replay is bit-identical to the
+interpreted sweep; an unoptimized program also reproduces its
+:class:`~repro.simd.machine.InstructionCounts` identically.  It is the
+default backend of :meth:`repro.core.plan.CompiledPlan.simulate` (opt out
+with ``backend="interpret"``, opt into the pass pipeline with
+``optimize=True``).
 """
 
 from repro.trace.compiler import (
+    CompiledSweep,
     CompiledSweep1D,
     CompiledSweep2D,
     CompiledSweep3D,
@@ -30,6 +33,7 @@ from repro.trace.compiler import (
 from repro.trace.recorder import TraceOp, TraceRecorder, TraceReg, TraceSegment
 
 __all__ = [
+    "CompiledSweep",
     "CompiledSweep1D",
     "CompiledSweep2D",
     "CompiledSweep3D",

@@ -1,500 +1,30 @@
-"""Trace compilation and batched replay of the register-level schedules.
+"""Back-compat façade over the IR executor (:mod:`repro.ir.executor`).
 
-The interpreted SIMD sweeps (:meth:`FoldingSchedule.simd_sweep_1d` /
-:meth:`~repro.core.vectorized_folding.FoldingSchedule.simd_sweep_2d`) execute
-one Python :class:`~repro.simd.vector.Vector` instruction at a time, which
-makes every ``simulate()`` call scale with the grid size times the Python
-interpreter overhead.  This module removes that overhead with a classic
-record-once/replay-many scheme:
-
-1. **Record** — the per-block pipeline pieces of the schedule are executed
-   once against a :class:`~repro.trace.recorder.TraceRecorder`, capturing the
-   per-block instruction trace (opcode, operand slots, block-relative grid
-   offsets, instruction class).  Recording is symbolic: no grid is needed and
-   its cost is independent of the grid size.
-2. **Compile** — the trace becomes a straight-line batched NumPy program:
-   every virtual register turns into an array with leading *block* axes
-   (all vector sets of the 1-D layout, all ``vl × vl`` squares of the 2-D
-   grid, or all (plane, square) positions of a 3-D grid), loads become
-   gathers whose index arithmetic mirrors the interpreted sweep's periodic
-   addressing, and cross-block operands (the 2-D/3-D shifts reuse) become
-   rolls of the column-block axis.
-3. **Replay** — one pass over the trace updates *every* block position at
-   once.  Because each replayed instruction applies the identical ``float64``
-   elementwise operation the machine would have applied per block, the result
-   is bit-identical to the interpreted sweep.
-
-Instruction accounting is not re-executed; it is derived analytically from
-the per-segment tallies recorded in step 1 times the number of times the
-interpreted sweep executes each segment (including spill charging), which
-reproduces the interpreted :class:`~repro.simd.machine.InstructionCounts`
-exactly — see :meth:`CompiledSweep1D.sweep_counts` /
-:meth:`CompiledSweep2D.sweep_counts`.
+The three per-dimensionality compiled sweeps that used to live here were
+collapsed into the single dimension-generic
+:class:`~repro.ir.executor.CompiledSweep`, which replays a typed
+:class:`~repro.ir.ops.ScheduleIR` (produced by
+:func:`repro.ir.lower.lower_schedule`) over all block positions at once.
+This module keeps the historical import surface: :func:`compile_sweep` and
+the ``CompiledSweep1D/2D/3D`` names, which now all resolve to the generic
+executor.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from repro.ir.executor import CompiledSweep, compile_sweep
 
-import numpy as np
+#: Historical aliases — the per-dimensionality classes were collapsed into
+#: the dimension-generic IR executor; isinstance checks against any of them
+#: keep working.
+CompiledSweep1D = CompiledSweep
+CompiledSweep2D = CompiledSweep
+CompiledSweep3D = CompiledSweep
 
-from repro.simd.isa import IsaSpec
-from repro.simd.machine import InstructionCounts
-from repro.trace.recorder import TraceOp, TraceRecorder, TraceSegment
-
-__all__ = ["CompiledSweep1D", "CompiledSweep2D", "CompiledSweep3D", "compile_sweep"]
-
-
-class _SegmentProgram:
-    """An executable form of one trace segment.
-
-    Shuffle immediates are pre-decoded into NumPy index/selector arrays and a
-    register-liveness table is computed so replay can drop large intermediate
-    arrays as soon as their last consumer has run.
-    """
-
-    def __init__(self, ops: Sequence[TraceOp], vl: int, keep: Optional[Set[int]] = None):
-        self.vl = vl
-        keep = keep or set()
-        defined = {op.dst for op in ops if op.dst >= 0}
-        last_use: Dict[int, int] = {}
-        for i, op in enumerate(ops):
-            for src in op.srcs:
-                last_use[src] = i
-        self.steps: List[Tuple[TraceOp, object, Tuple[int, ...]]] = []
-        for i, op in enumerate(ops):
-            if op.opcode == "input" and op.dst not in last_use and op.dst not in keep:
-                # Dead stage input: the trace declares every possible
-                # cross-stage operand, but e.g. the horizontal fold only
-                # reads the R boundary columns of its neighbour squares.
-                # Skipping the op avoids materializing a rolled full-grid
-                # copy nobody reads.
-                continue
-            imm = op.imm
-            if op.opcode == "shuf1":
-                imm = np.asarray(imm, dtype=np.intp)
-            elif op.opcode == "shuf2":
-                lane_map = np.asarray(imm, dtype=np.intp)
-                sel_b = lane_map >= vl
-                imm = (sel_b, np.where(sel_b, lane_map - vl, lane_map))
-            frees = tuple(
-                src
-                for src in dict.fromkeys(op.srcs)
-                if src in defined and src not in keep and last_use[src] == i
-            )
-            self.steps.append((op, imm, frees))
-
-    def run(
-        self,
-        env: List[Optional[np.ndarray]],
-        load_fn: Optional[Callable[[object], np.ndarray]] = None,
-        store_fn: Optional[Callable[[object, np.ndarray], None]] = None,
-        input_fn: Optional[Callable[[object], np.ndarray]] = None,
-    ) -> None:
-        """Execute the segment over ``env`` (virtual register id → array)."""
-        for op, imm, frees in self.steps:
-            oc = op.opcode
-            if oc == "fma":
-                a, b, c = op.srcs
-                env[op.dst] = env[a] * env[b] + env[c]
-            elif oc == "mul":
-                a, b = op.srcs
-                env[op.dst] = env[a] * env[b]
-            elif oc == "add":
-                a, b = op.srcs
-                env[op.dst] = env[a] + env[b]
-            elif oc == "sub":
-                a, b = op.srcs
-                env[op.dst] = env[a] - env[b]
-            elif oc == "max":
-                a, b = op.srcs
-                env[op.dst] = np.maximum(env[a], env[b])
-            elif oc == "shuf1":
-                env[op.dst] = env[op.srcs[0]][..., imm]
-            elif oc == "shuf2":
-                sel_b, idx = imm
-                a, b = op.srcs
-                env[op.dst] = np.where(sel_b, env[b][..., idx], env[a][..., idx])
-            elif oc == "load":
-                env[op.dst] = load_fn(op.tag)
-            elif oc == "store":
-                store_fn(op.tag, env[op.srcs[0]])
-            elif oc == "input":
-                env[op.dst] = input_fn(op.tag)
-            elif oc == "const":
-                env[op.dst] = np.full(self.vl, imm, dtype=np.float64)
-            else:  # pragma: no cover - recorder emits no other opcodes
-                raise RuntimeError(f"unknown trace opcode {oc!r}")
-            for src in frees:
-                env[src] = None
-
-
-def _combine_counts(
-    parts: Sequence[Tuple[TraceSegment, float]],
-) -> Tuple[InstructionCounts, int, float]:
-    """Sum segment tallies scaled by their execution multiplicity."""
-    counts = InstructionCounts()
-    peak = 0
-    spills = 0.0
-    for segment, mult in parts:
-        counts = counts.merge(segment.counts.scaled(mult))
-        if mult > 0:
-            peak = max(peak, segment.peak_live)
-        spills += segment.spills * mult
-    return counts, peak, spills
-
-
-def _check_contiguous_out(out: Optional[np.ndarray], template: np.ndarray) -> np.ndarray:
-    if out is None:
-        return np.empty_like(template)
-    if not out.flags.c_contiguous:
-        raise ValueError("trace replay requires a C-contiguous output array")
-    if out.shape != template.shape:
-        raise ValueError(f"output shape {out.shape} does not match grid shape {template.shape}")
-    return out
-
-
-class CompiledSweep1D:
-    """Batched replay of :meth:`FoldingSchedule.simd_sweep_1d`.
-
-    The trace holds a ``prologue`` segment (weight broadcasts, executed once
-    per sweep) and a ``block`` segment (one vector set, executed once per set
-    by the interpreted sweep and once *in bulk* by :meth:`replay`).
-    """
-
-    dims = 1
-
-    def __init__(self, schedule, isa: IsaSpec):
-        if schedule.dims != 1:
-            raise ValueError("CompiledSweep1D applies to 1-D stencils only")
-        vl = isa.vector_lanes
-        if schedule.radius > vl:
-            raise ValueError(
-                f"folded radius {schedule.radius} exceeds the vector length {vl}; "
-                "the assembled-vector construction supports radius <= vl"
-            )
-        self.schedule = schedule
-        self.isa = isa
-        self.vl = vl
-        rec = TraceRecorder(isa)
-        rec.begin_segment("prologue")
-        weight_vecs = schedule._sweep_1d_weight_vectors(rec)
-        rec.begin_segment("block")
-        schedule._sweep_1d_block(
-            rec,
-            weight_vecs,
-            load=lambda delta, j: rec.emit_load(("set", delta, j)),
-            store=lambda j, vec: rec.emit_store(("set", j), vec),
-        )
-        self._prologue, self._block = rec.segments
-        base_env: List[Optional[np.ndarray]] = [None] * rec.nregs
-        _SegmentProgram(self._prologue.ops, vl, keep=set(range(rec.nregs))).run(base_env)
-        self._base_env = base_env
-        self._block_prog = _SegmentProgram(self._block.ops, vl)
-
-    def replay(self, values_t: np.ndarray, out_t: Optional[np.ndarray] = None) -> np.ndarray:
-        """One folded update of all vector sets at once (transpose layout)."""
-        values_t = np.asarray(values_t, dtype=np.float64)
-        vl = self.vl
-        n = values_t.size
-        block = vl * vl
-        if n % block != 0:
-            raise ValueError(f"array length {n} must be a multiple of vl²={block}")
-        nsets = n // block
-        v3 = np.ascontiguousarray(values_t).reshape(nsets, vl, vl)
-        out_t = _check_contiguous_out(out_t, values_t)
-        out3 = out_t.reshape(nsets, vl, vl)
-
-        def load_fn(tag):
-            _, delta, j = tag
-            column = v3[:, j, :]
-            if delta == 0:
-                return column
-            return np.roll(column, -delta, axis=0)
-
-        def store_fn(tag, val):
-            _, j = tag
-            out3[:, j, :] = val
-
-        env = list(self._base_env)
-        self._block_prog.run(env, load_fn=load_fn, store_fn=store_fn)
-        return out_t
-
-    def sweep_counts(
-        self, shape: Union[int, Sequence[int]]
-    ) -> Tuple[InstructionCounts, int, float]:
-        """Exact per-sweep ``(counts, peak_live, spills)`` for a length-``n`` grid.
-
-        Derived as prologue + block-segment tallies × the number of vector
-        sets — identical to what the interpreted sweep would record.
-        """
-        n = int(shape if np.isscalar(shape) else shape[0])
-        nsets = n // (self.vl * self.vl)
-        return _combine_counts([(self._prologue, 1.0), (self._block, float(nsets))])
-
-
-class CompiledSweep2D:
-    """Batched replay of :meth:`FoldingSchedule.simd_sweep_2d`.
-
-    Three segments: ``prologue`` (weight broadcasts, once per sweep),
-    ``vertical`` (vertical folds + register transpose of one square; the
-    interpreted sweep runs it ``n_row_blocks · (n_col_blocks + 2)`` times
-    because shifts reuse still primes each row with two extra squares) and
-    ``horizontal`` (horizontal folding + weighted transpose + stores, once
-    per square).  Replay evaluates ``vertical`` once for *all* squares and
-    resolves the shifts-reuse operands of ``horizontal`` by rolling the
-    column-block axis.
-    """
-
-    dims = 2
-
-    def __init__(self, schedule, isa: IsaSpec, transpose_back: bool = True):
-        if schedule.dims != 2:
-            raise ValueError("CompiledSweep2D applies to 2-D stencils only")
-        vl = isa.vector_lanes
-        if schedule.radius > vl:
-            raise ValueError("folded radius must not exceed the vector length")
-        self.schedule = schedule
-        self.isa = isa
-        self.vl = vl
-        self.transpose_back = transpose_back
-        rec = TraceRecorder(isa)
-        rec.begin_segment("prologue")
-        weights = schedule._sweep_square_weight_vectors(rec)
-        rec.begin_segment("vertical")
-        vt = schedule._sweep_2d_vertical(
-            rec, weights, load_row=lambda s: rec.emit_load(("row", s))
-        )
-        self._vt_out = [[reg.vid for reg in cols] for cols in vt]
-        rec.begin_segment("horizontal")
-        n_mat = len(vt)
-
-        def stage_inputs(delta: int):
-            return [
-                [rec.emit_input(("vt", delta, ci, k)) for k in range(vl)]
-                for ci in range(n_mat)
-            ]
-
-        prev_t, cur_t, next_t = stage_inputs(-1), stage_inputs(0), stage_inputs(+1)
-        out_cols = schedule._sweep_square_horizontal(rec, weights, prev_t, cur_t, next_t)
-        schedule._sweep_square_store(
-            rec,
-            out_cols,
-            store=lambda oi, vec: rec.emit_store(("out_row", oi), vec),
-            transpose_back=transpose_back,
-        )
-        self._prologue, self._vertical, self._horizontal = rec.segments
-        base_env: List[Optional[np.ndarray]] = [None] * rec.nregs
-        _SegmentProgram(self._prologue.ops, vl, keep=set(range(rec.nregs))).run(base_env)
-        self._base_env = base_env
-        vt_vids = {vid for cols in self._vt_out for vid in cols}
-        self._vertical_prog = _SegmentProgram(self._vertical.ops, vl, keep=vt_vids)
-        self._horizontal_prog = _SegmentProgram(self._horizontal.ops, vl)
-
-    def replay(self, values: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
-        """One folded update of all ``vl × vl`` squares at once."""
-        values = np.asarray(values, dtype=np.float64)
-        vl = self.vl
-        if values.ndim != 2:
-            raise ValueError("CompiledSweep2D.replay expects a 2-D grid")
-        rows, cols = values.shape
-        if rows % vl != 0 or cols % vl != 0:
-            raise ValueError(f"grid shape {values.shape} must be a multiple of vl={vl}")
-        nrb, ncb = rows // vl, cols // vl
-        values = np.ascontiguousarray(values)
-        v4 = values.reshape(nrb, vl, ncb, vl)
-        out = _check_contiguous_out(out, values)
-        out4 = out.reshape(nrb, vl, ncb, vl)
-
-        def load_fn(tag):
-            _, s = tag
-            if 0 <= s < vl:
-                return v4[:, s]
-            rowsel = (np.arange(nrb) * vl + s) % rows
-            return values[rowsel].reshape(nrb, ncb, vl)
-
-        env = list(self._base_env)
-        self._vertical_prog.run(env, load_fn=load_fn)
-        vt_arrays = [[env[vid] for vid in col_vids] for col_vids in self._vt_out]
-
-        def input_fn(tag):
-            _, delta, ci, k = tag
-            arr = vt_arrays[ci][k]
-            if delta == 0:
-                return arr
-            return np.roll(arr, -delta, axis=1)
-
-        def store_fn(tag, val):
-            _, oi = tag
-            out4[:, oi] = val
-
-        self._horizontal_prog.run(env, store_fn=store_fn, input_fn=input_fn)
-        if not self.transpose_back:
-            from repro.core.vectorized_folding import _untranspose_tiles
-
-            out = _untranspose_tiles(out, vl)
-        return out
-
-    def sweep_counts(self, shape: Sequence[int]) -> Tuple[InstructionCounts, int, float]:
-        """Exact per-sweep ``(counts, peak_live, spills)`` for a 2-D grid.
-
-        The vertical segment is weighted by ``n_row_blocks · (n_col_blocks +
-        2)`` — the interpreted sweep recomputes the previous and current
-        squares when it enters each block row — and the horizontal segment by
-        the number of squares, which reproduces the interpreted tally
-        identically.
-        """
-        rows, cols = shape
-        nrb, ncb = rows // self.vl, cols // self.vl
-        return _combine_counts(
-            [
-                (self._prologue, 1.0),
-                (self._vertical, float(nrb * (ncb + 2))),
-                (self._horizontal, float(nrb * ncb)),
-            ]
-        )
-
-
-class CompiledSweep3D:
-    """Batched replay of :meth:`FoldingSchedule.simd_sweep_3d`.
-
-    Same three segments as :class:`CompiledSweep2D` — ``prologue``,
-    ``vertical`` (full leading (plane, row) fold + register transpose of one
-    square) and ``horizontal`` — but the block axes are
-    ``(planes, row blocks, column blocks)``: replay evaluates ``vertical``
-    once for every square of every plane and resolves the shifts-reuse
-    operands of ``horizontal`` by rolling the column-block axis, exactly as
-    the 2-D replay does.
-    """
-
-    dims = 3
-
-    def __init__(self, schedule, isa: IsaSpec, transpose_back: bool = True):
-        if schedule.dims != 3:
-            raise ValueError("CompiledSweep3D applies to 3-D stencils only")
-        vl = isa.vector_lanes
-        if schedule.radius > vl:
-            raise ValueError("folded radius must not exceed the vector length")
-        self.schedule = schedule
-        self.isa = isa
-        self.vl = vl
-        self.transpose_back = transpose_back
-        rec = TraceRecorder(isa)
-        rec.begin_segment("prologue")
-        weights = schedule._sweep_square_weight_vectors(rec)
-        rec.begin_segment("vertical")
-        vt = schedule._sweep_3d_vertical(
-            rec, weights, load_row=lambda dz, s: rec.emit_load(("row", dz, s))
-        )
-        self._vt_out = [[reg.vid for reg in cols] for cols in vt]
-        rec.begin_segment("horizontal")
-        n_mat = len(vt)
-
-        def stage_inputs(delta: int):
-            return [
-                [rec.emit_input(("vt", delta, ci, k)) for k in range(vl)]
-                for ci in range(n_mat)
-            ]
-
-        prev_t, cur_t, next_t = stage_inputs(-1), stage_inputs(0), stage_inputs(+1)
-        out_cols = schedule._sweep_square_horizontal(rec, weights, prev_t, cur_t, next_t)
-        schedule._sweep_square_store(
-            rec,
-            out_cols,
-            store=lambda oi, vec: rec.emit_store(("out_row", oi), vec),
-            transpose_back=transpose_back,
-        )
-        self._prologue, self._vertical, self._horizontal = rec.segments
-        base_env: List[Optional[np.ndarray]] = [None] * rec.nregs
-        _SegmentProgram(self._prologue.ops, vl, keep=set(range(rec.nregs))).run(base_env)
-        self._base_env = base_env
-        vt_vids = {vid for cols in self._vt_out for vid in cols}
-        self._vertical_prog = _SegmentProgram(self._vertical.ops, vl, keep=vt_vids)
-        self._horizontal_prog = _SegmentProgram(self._horizontal.ops, vl)
-
-    def replay(self, values: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
-        """One folded update of every ``vl × vl`` square of every plane at once."""
-        values = np.asarray(values, dtype=np.float64)
-        vl = self.vl
-        if values.ndim != 3:
-            raise ValueError("CompiledSweep3D.replay expects a 3-D grid")
-        planes, rows, cols = values.shape
-        if rows % vl != 0 or cols % vl != 0:
-            raise ValueError(
-                f"grid shape {values.shape} must be a multiple of vl={vl} "
-                "along its two innermost extents"
-            )
-        nrb, ncb = rows // vl, cols // vl
-        values = np.ascontiguousarray(values)
-        v5 = values.reshape(planes, nrb, vl, ncb, vl)
-        out = _check_contiguous_out(out, values)
-        out5 = out.reshape(planes, nrb, vl, ncb, vl)
-
-        def load_fn(tag):
-            _, dz, s = tag
-            if dz == 0 and 0 <= s < vl:
-                return v5[:, :, s]
-            zsel = (np.arange(planes) + dz) % planes
-            rowsel = (np.arange(nrb) * vl + s) % rows
-            return values[np.ix_(zsel, rowsel)].reshape(planes, nrb, ncb, vl)
-
-        env = list(self._base_env)
-        self._vertical_prog.run(env, load_fn=load_fn)
-        vt_arrays = [[env[vid] for vid in col_vids] for col_vids in self._vt_out]
-
-        def input_fn(tag):
-            _, delta, ci, k = tag
-            arr = vt_arrays[ci][k]
-            if delta == 0:
-                return arr
-            return np.roll(arr, -delta, axis=2)
-
-        def store_fn(tag, val):
-            _, oi = tag
-            out5[:, :, oi] = val
-
-        self._horizontal_prog.run(env, store_fn=store_fn, input_fn=input_fn)
-        if not self.transpose_back:
-            from repro.core.vectorized_folding import _untranspose_plane_tiles
-
-            out = _untranspose_plane_tiles(out, vl)
-        return out
-
-    def sweep_counts(self, shape: Sequence[int]) -> Tuple[InstructionCounts, int, float]:
-        """Exact per-sweep ``(counts, peak_live, spills)`` for a 3-D grid.
-
-        The vertical segment runs ``planes · n_row_blocks · (n_col_blocks +
-        2)`` times in the interpreted sweep (shifts reuse still primes every
-        block row of every plane with two extra squares) and the horizontal
-        segment once per square, which reproduces the interpreted tally
-        identically.
-        """
-        planes, rows, cols = shape
-        nrb, ncb = rows // self.vl, cols // self.vl
-        return _combine_counts(
-            [
-                (self._prologue, 1.0),
-                (self._vertical, float(planes * nrb * (ncb + 2))),
-                (self._horizontal, float(planes * nrb * ncb)),
-            ]
-        )
-
-
-def compile_sweep(schedule, isa: IsaSpec, transpose_back: bool = True):
-    """Record and compile the SIMD sweep of ``schedule`` for ``isa``.
-
-    Returns a :class:`CompiledSweep1D`, :class:`CompiledSweep2D` or
-    :class:`CompiledSweep3D` according to the schedule's dimensionality.
-    ``transpose_back`` mirrors the
-    :meth:`~repro.core.vectorized_folding.FoldingSchedule.simd_sweep_2d` /
-    :meth:`~repro.core.vectorized_folding.FoldingSchedule.simd_sweep_3d`
-    flag (ignored for 1-D schedules, which always stay in the transpose
-    layout).
-    """
-    if schedule.dims == 1:
-        return CompiledSweep1D(schedule, isa)
-    if schedule.dims == 2:
-        return CompiledSweep2D(schedule, isa, transpose_back=transpose_back)
-    if schedule.dims == 3:
-        return CompiledSweep3D(schedule, isa, transpose_back=transpose_back)
-    raise ValueError("trace compilation supports 1-D, 2-D and 3-D schedules only")
+__all__ = [
+    "CompiledSweep",
+    "CompiledSweep1D",
+    "CompiledSweep2D",
+    "CompiledSweep3D",
+    "compile_sweep",
+]

@@ -1,4 +1,4 @@
-"""Symbolic trace recording for the register-level schedules.
+"""Symbolic trace recording: lowering schedules to the typed IR.
 
 :class:`TraceRecorder` is a :class:`~repro.simd.machine.SimdMachine` proxy
 that *records* the instruction stream of a schedule instead of executing it.
@@ -7,11 +7,13 @@ fully determined by the schedule structure and the grid geometry — so one
 symbolic execution of a per-block pipeline piece captures the complete
 instruction trace of every block position at once.
 
+The recorder emits the typed IR of :mod:`repro.ir.ops` directly: every
+instruction becomes an :class:`~repro.ir.ops.IrOp` (explicit opcode,
+instruction class, operand/result virtual registers, lane width, memory tag)
+appended to the current :class:`~repro.ir.ops.IrSegment`.
+
 Design notes
 ------------
-* Every instruction is appended to the current :class:`TraceSegment` as a
-  :class:`TraceOp` over virtual registers (:class:`TraceReg`); the recorder
-  never allocates lane data.
 * Lane semantics of the data-organisation instructions (blend, rotate,
   unpack, ``permute2f128``, block exchanges) are derived by *probing*: the
   recorder runs the instruction once on a scratch
@@ -19,23 +21,28 @@ Design notes
   and reads off the source lane of every destination lane.  The probe reuses
   the real machine's implementation, so recorded semantics (and argument
   validation) cannot drift from interpreted execution.
-* The recorder mirrors the machine's accounting exactly — per-class
-  instruction tallies, peak live registers and spill charging — but keeps it
-  *per segment*, so the compiler can scale each segment by the number of
-  times the interpreted sweep would execute it and reproduce the interpreted
-  :class:`~repro.simd.machine.InstructionCounts` identically.
+* Register pressure mirrors the machine's accounting exactly, *per segment*:
+  :meth:`note_live_registers` records the segment's peak live count and
+  charges any excess over the architectural register count as spill
+  stores/reloads, which :meth:`repro.ir.ops.IrSegment.counts` folds back
+  into the derived tallies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.ir.ops import IrOp, IrSegment
 from repro.simd.isa import InstructionClass, IsaSpec
-from repro.simd.machine import InstructionCounts, SimdMachine
+from repro.simd.machine import SimdMachine
 from repro.simd.vector import Vector
+
+#: Back-compat aliases: the recorder's op/segment types were promoted into
+#: the typed IR of :mod:`repro.ir.ops`.
+TraceOp = IrOp
+TraceSegment = IrSegment
 
 
 class TraceReg:
@@ -51,56 +58,14 @@ class TraceReg:
         return f"TraceReg(v{self.vid})"
 
 
-@dataclass(frozen=True)
-class TraceOp:
-    """One recorded instruction.
-
-    Attributes
-    ----------
-    opcode:
-        ``"const"``, ``"load"``, ``"input"``, ``"store"``, ``"mul"``,
-        ``"add"``, ``"sub"``, ``"max"``, ``"fma"``, ``"shuf1"`` or
-        ``"shuf2"``.
-    dst:
-        Virtual register id written (``-1`` for stores).
-    srcs:
-        Virtual register ids read.
-    imm:
-        Immediate payload: the broadcast scalar for ``const``, the lane map
-        for shuffles (``shuf1``: destination lane ``l`` reads source lane
-        ``imm[l]``; ``shuf2``: lanes ``>= vl`` select from the second
-        operand).
-    tag:
-        Abstract address of a ``load``/``store``/``input`` (interpreted by
-        the compiler; e.g. ``("set", delta, j)`` or ``("row", s)``).
-    """
-
-    opcode: str
-    dst: int
-    srcs: Tuple[int, ...] = ()
-    imm: object = None
-    tag: object = None
-
-
-@dataclass
-class TraceSegment:
-    """A named run of recorded instructions plus its exact accounting."""
-
-    name: str
-    ops: List[TraceOp] = field(default_factory=list)
-    counts: InstructionCounts = field(default_factory=InstructionCounts)
-    peak_live: int = 0
-    spills: float = 0.0
-
-
 class TraceRecorder(SimdMachine):
-    """Records the instruction stream of a schedule as a list of segments.
+    """Records the instruction stream of a schedule as typed IR segments.
 
     The recorder presents the full :class:`~repro.simd.machine.SimdMachine`
     instruction surface, so the per-block pipeline pieces of
     :class:`~repro.core.vectorized_folding.FoldingSchedule` run against it
     unchanged.  Memory traffic goes through :meth:`emit_load` /
-    :meth:`emit_store` (bound by the trace builder through the pieces'
+    :meth:`emit_store` (bound by the lowering through the pieces'
     ``load``/``store`` callables) so every access carries an abstract
     block-relative tag instead of a concrete address.
     """
@@ -110,7 +75,7 @@ class TraceRecorder(SimdMachine):
         self._probe = SimdMachine(isa)
         self._probe_a = Vector(np.arange(self.vl, dtype=np.float64))
         self._probe_b = Vector(self.vl + np.arange(self.vl, dtype=np.float64))
-        self.segments: List[TraceSegment] = []
+        self.segments: List[IrSegment] = []
         self._nregs = 0
 
     # ------------------------------------------------------------------ #
@@ -121,11 +86,11 @@ class TraceRecorder(SimdMachine):
         """Number of virtual registers allocated so far."""
         return self._nregs
 
-    def begin_segment(self, name: str) -> None:
-        """Start a new trace segment; subsequent instructions land in it."""
-        self.segments.append(TraceSegment(name=name))
+    def begin_segment(self, name: str, trip: str = "once") -> None:
+        """Start a new trace segment with trip role ``trip``."""
+        self.segments.append(IrSegment(name=name, trip=trip))
 
-    def _segment(self) -> TraceSegment:
+    def _segment(self) -> IrSegment:
         if not self.segments:
             raise RuntimeError("begin_segment() must be called before recording")
         return self.segments[-1]
@@ -149,12 +114,17 @@ class TraceRecorder(SimdMachine):
             if src.lanes != self.vl:
                 raise ValueError("operand width does not match machine vector length")
         dst = self._new_reg()
-        seg = self._segment()
-        seg.ops.append(
-            TraceOp(opcode, dst.vid, tuple(s.vid for s in srcs), imm=imm, tag=tag)
+        self._segment().ops.append(
+            IrOp(
+                opcode,
+                dst.vid,
+                tuple(s.vid for s in srcs),
+                imm=imm,
+                tag=tag,
+                cls=cls,
+                lanes=self.vl,
+            )
         )
-        if cls is not None:
-            seg.counts.add(cls)
         return dst
 
     # ------------------------------------------------------------------ #
@@ -168,9 +138,16 @@ class TraceRecorder(SimdMachine):
         """Record a vector store of ``vec`` to the abstract address ``tag``."""
         if not isinstance(vec, TraceReg):
             raise TypeError("emit_store expects a TraceReg")
-        seg = self._segment()
-        seg.ops.append(TraceOp("store", -1, (vec.vid,), tag=tag))
-        seg.counts.add(InstructionClass.STORE)
+        self._segment().ops.append(
+            IrOp(
+                "store",
+                -1,
+                (vec.vid,),
+                tag=tag,
+                cls=InstructionClass.STORE,
+                lanes=self.vl,
+            )
+        )
 
     def emit_input(self, tag: object) -> TraceReg:
         """Declare a register produced by an earlier stage (no instruction)."""
@@ -243,5 +220,3 @@ class TraceRecorder(SimdMachine):
         excess = live - self.isa.registers
         if excess > 0:
             seg.spills += excess
-            seg.counts.add(InstructionClass.STORE, excess)
-            seg.counts.add(InstructionClass.LOAD, excess)

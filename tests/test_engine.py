@@ -1,11 +1,22 @@
-"""Integration tests for the StencilEngine public API."""
+"""End-to-end integration tests of the plan execution paths.
+
+Historically these covered the ``StencilEngine`` facade; the engine was
+removed (its construction parameters map one-to-one onto the fluent
+:func:`repro.plan` builder), so the same behavioural contracts are asserted
+directly against :class:`~repro.core.plan.CompiledPlan`: every method
+reproduces the reference arithmetic on every benchmark and boundary, folded
+execution handles odd step counts and larger unrolls, tiling stays exact,
+and simulated execution matches the reference while rejecting unsupported
+configurations.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.core.engine import ENGINE_METHODS, StencilEngine
+from repro.core.plan import plan
+from repro.methods import METHOD_KEYS
 from repro.perfmodel.costmodel import PerformanceEstimate
 from repro.simd.isa import AVX512
 from repro.simd.machine import SimdMachine
@@ -15,6 +26,10 @@ from repro.stencils.library import BENCHMARKS, box_2d9p, game_of_life, heat_1d
 from repro.stencils.reference import reference_run
 from repro.tiling.tessellate import TessellationConfig
 from repro.utils.validation import assert_allclose
+
+#: Every executable method key (the registry line-up plus the reference
+#: executor) — what the removed engine used to accept.
+EXECUTABLE_METHODS = ("reference",) + METHOD_KEYS
 
 
 def _small_grid(case, boundary):
@@ -32,17 +47,17 @@ class TestNumericalEquivalence:
     @pytest.mark.parametrize("boundary", [BoundaryCondition.PERIODIC, BoundaryCondition.DIRICHLET])
     def test_methods_match_reference(self, benchmark_case, method, boundary):
         grid = _small_grid(benchmark_case, boundary)
-        engine = StencilEngine(benchmark_case.spec, method=method, unroll=2)
+        p = plan(benchmark_case.spec).method(method).unroll(2).compile()
         steps = 5
-        out = engine.run(grid, steps)
+        out = p.run(grid, steps)
         ref = reference_run(benchmark_case.spec, grid, steps)
         assert_allclose(out, ref, context=f"{benchmark_case.key}/{method}/{boundary.value}")
 
     def test_folded_with_odd_step_count(self):
         case = BENCHMARKS["2d9p"]
         grid = case.make_grid((32, 32))
-        engine = StencilEngine(case.spec, method="folded", unroll=2)
-        out = engine.run(grid, 7)
+        p = plan(case.spec).method("folded").unroll(2).compile()
+        out = p.run(grid, 7)
         ref = reference_run(case.spec, grid, 7)
         assert_allclose(out, ref)
 
@@ -50,8 +65,8 @@ class TestNumericalEquivalence:
         case = BENCHMARKS["2d9p"]
         grid = case.make_grid((36, 36))
         grid.boundary = BoundaryCondition.DIRICHLET
-        engine = StencilEngine(case.spec, method="folded", unroll=3)
-        out = engine.run(grid, 8)
+        p = plan(case.spec).method("folded").unroll(3).compile()
+        out = p.run(grid, 8)
         ref = reference_run(case.spec, grid, 8)
         assert_allclose(out, ref)
 
@@ -59,30 +74,30 @@ class TestNumericalEquivalence:
         case = BENCHMARKS["2d-heat"]
         grid = case.make_grid((48, 48))
         tiling = TessellationConfig(block_sizes=(16, 16), time_range=4)
-        engine = StencilEngine(case.spec, method="transpose", tiling=tiling)
-        out = engine.run(grid, 10)
+        p = plan(case.spec).method("transpose").tile(tiling).compile()
+        out = p.run(grid, 10)
         ref = reference_run(case.spec, grid, 10)
         assert_allclose(out, ref)
 
     def test_zero_steps(self):
         case = BENCHMARKS["1d-heat"]
         grid = case.make_grid()
-        engine = StencilEngine(case.spec, method="folded")
-        np.testing.assert_array_equal(engine.run(grid, 0), grid.values)
+        p = plan(case.spec).method("folded").compile()
+        np.testing.assert_array_equal(p.run(grid, 0), grid.values)
 
     def test_reference_method(self):
         case = BENCHMARKS["1d-heat"]
         grid = case.make_grid()
-        engine = StencilEngine(case.spec, method="reference")
-        assert_allclose(engine.run(grid, 3), reference_run(case.spec, grid, 3))
+        p = plan(case.spec).method("reference").compile()
+        assert_allclose(p.run(grid, 3), reference_run(case.spec, grid, 3))
 
 
 class TestSimulatedExecution:
     def test_1d_simulated_matches_reference(self):
         spec = heat_1d()
         grid = Grid.random((64,), seed=20)
-        engine = StencilEngine(spec, method="folded", unroll=2)
-        out, counts = engine.run_simulated(grid, 4)
+        p = plan(spec).method("folded").unroll(2).compile()
+        out, counts = p.simulate(grid, 4)
         ref = reference_run(spec, grid, 4)
         assert_allclose(out, ref)
         assert counts.total > 0
@@ -90,8 +105,8 @@ class TestSimulatedExecution:
     def test_2d_simulated_matches_reference(self):
         spec = box_2d9p()
         grid = Grid.random((16, 16), seed=21)
-        engine = StencilEngine(spec, method="transpose")
-        out, counts = engine.run_simulated(grid, 2)
+        p = plan(spec).method("transpose").compile()
+        out, counts = p.simulate(grid, 2)
         ref = reference_run(spec, grid, 2)
         assert_allclose(out, ref)
         assert counts.arithmetic > 0
@@ -99,58 +114,66 @@ class TestSimulatedExecution:
     def test_avx512_simulated(self):
         spec = heat_1d()
         grid = Grid.random((128,), seed=22)
-        engine = StencilEngine(spec, method="folded", isa="avx512", unroll=2)
-        out, _ = engine.run_simulated(grid, 2, machine=SimdMachine(AVX512))
+        p = plan(spec).method("folded").isa("avx512").unroll(2).compile()
+        out, _ = p.simulate(grid, 2, machine=SimdMachine(AVX512))
         assert_allclose(out, reference_run(spec, grid, 2))
 
     def test_simulated_rejects_unsupported_configs(self):
         spec = heat_1d()
         grid = Grid.random((64,), seed=23)
         with pytest.raises(ValueError):
-            StencilEngine(spec, method="dlt").run_simulated(grid, 2)
+            plan(spec).method("dlt").compile().simulate(grid, 2)
         with pytest.raises(ValueError):
-            StencilEngine(game_of_life(), method="folded").run_simulated(
+            plan(game_of_life()).method("folded").compile().simulate(
                 Grid.life_random((16, 16)), 2
             )
         dirichlet = Grid.random((64,), boundary=BoundaryCondition.DIRICHLET, seed=24)
         with pytest.raises(ValueError):
-            StencilEngine(spec, method="folded").run_simulated(dirichlet, 2)
+            plan(spec).method("folded").compile().simulate(dirichlet, 2)
         with pytest.raises(ValueError):
-            StencilEngine(spec, method="folded", unroll=2).run_simulated(grid, 3)
+            plan(spec).method("folded").unroll(2).compile().simulate(grid, 3)
 
 
 class TestConfigurationAndAnalysis:
     def test_unknown_method_rejected(self):
         with pytest.raises(KeyError):
-            StencilEngine(heat_1d(), method="pochoir")
+            plan(heat_1d()).method("pochoir").compile()
 
     def test_invalid_unroll_rejected(self):
         with pytest.raises(ValueError):
-            StencilEngine(heat_1d(), unroll=0)
+            plan(heat_1d()).unroll(0).compile()
 
-    def test_engine_methods_cover_registry(self):
-        assert "folded" in ENGINE_METHODS and "reference" in ENGINE_METHODS
+    def test_executable_methods_cover_registry(self):
+        assert "folded" in EXECUTABLE_METHODS and "reference" in EXECUTABLE_METHODS
 
     def test_profile_and_estimate(self):
-        engine = StencilEngine(box_2d9p(), method="folded", unroll=2)
-        profile = engine.profile()
+        p = plan(box_2d9p()).method("folded").unroll(2).compile()
+        profile = p.profile()
         assert profile.method == "folded"
         assert profile.sweeps_per_step == pytest.approx(0.5)
-        est = engine.estimate((512, 512), time_steps=100, cores=4)
+        est = p.estimate((512, 512), time_steps=100, cores=4)
         assert isinstance(est, PerformanceEstimate)
         assert est.gflops > 0
 
     def test_reference_profile_rejected(self):
-        with pytest.raises(ValueError):
-            StencilEngine(heat_1d(), method="reference").profile()
+        with pytest.raises((TypeError, ValueError)):
+            plan(heat_1d()).method("reference").compile().profile()
 
     def test_folding_report(self):
-        report = StencilEngine(box_2d9p(), method="folded", unroll=2).folding_report()
+        report = plan(box_2d9p()).method("folded").unroll(2).compile().folding_report()
         assert report.profitability_optimized == pytest.approx(10.0)
         with pytest.raises(ValueError):
-            StencilEngine(game_of_life(), method="transpose").folding_report()
+            plan(game_of_life()).method("transpose").compile().folding_report()
 
     def test_negative_steps_rejected(self):
-        engine = StencilEngine(heat_1d())
+        p = plan(heat_1d()).compile()
         with pytest.raises(ValueError):
-            engine.run(Grid.random((32,)), -1)
+            p.run(Grid.random((32,)), -1)
+
+    def test_stencil_engine_is_gone(self):
+        """The deprecated wrapper was removed; the plan API is the only entry."""
+        import repro
+
+        assert not hasattr(repro, "StencilEngine")
+        with pytest.raises(ImportError):
+            from repro.core.engine import StencilEngine  # noqa: F401

@@ -179,6 +179,7 @@ class TestCollectsAndRunner:
             "table3",
             "collects",
             "dims3",
+            "pass_ablation",
         }
         result = run_experiment("collects")
         assert result.name == "collects"

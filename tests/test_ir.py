@@ -1,0 +1,431 @@
+"""Tests for the typed schedule IR and its optimizing pass pipeline (repro.ir).
+
+The contract under test:
+
+* lowering produces a structurally valid, fully typed program whose derived
+  accounting reproduces the interpreted machine exactly,
+* every pass — and the whole default pipeline — preserves *bit-identical*
+  replay across every linear library stencil, both ISAs and both store
+  layouts, while never increasing any instruction-class group, the register
+  pressure or the spill charges,
+* the optimized program yields its own (strictly smaller) counts for the
+  folded schedules,
+* the plan API exposes both variants (``simulate(optimize=...)``) with
+  side-by-side caching, and the cost-model profile equals the optimized
+  IR's steady state (estimated == simulated, no drift),
+* integral instruction counts stay integral end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import hierarchy_from_machine
+from repro.cache.irprofile import ir_access_stream, ir_memory_profile
+from repro.cache.simulator import CacheHierarchySimulator
+from repro.core.plan import plan
+from repro.core.vectorized_folding import FoldingSchedule
+from repro.ir import (
+    DEFAULT_PASSES,
+    PassManager,
+    compile_sweep,
+    lower_schedule,
+)
+from repro.layout.transpose_layout import to_transpose_layout
+from repro.machine import XEON_GOLD_6140_AVX2
+from repro.methods import build_profile
+from repro.simd.isa import AVX2, AVX512, InstructionClass
+from repro.simd.machine import InstructionCounts, SimdMachine
+from repro.stencils.grid import Grid
+from repro.stencils.library import BENCHMARKS, box_1d5p, box_2d9p, heat_1d, heat_3d
+
+#: Every registered linear library stencil (the non-linear ones cannot fold).
+LINEAR_KEYS = tuple(key for key, case in BENCHMARKS.items() if case.spec.linear)
+ISAS = [AVX2, AVX512]
+
+
+def _schedule_inputs(spec, isa, m=2, seed=5):
+    """(schedule, grid values, interpreted-input, shape-key) or None if unlowerable."""
+    sched = FoldingSchedule(spec, m)
+    vl = isa.vector_lanes
+    if sched.radius > vl:
+        return None
+    if sched.dims == 1:
+        grid = Grid.random((3 * vl * vl,), seed=seed)
+        data = to_transpose_layout(grid.values, vl)
+        return sched, data, data.size
+    if sched.dims == 2:
+        grid = Grid.random((2 * vl, 3 * vl), seed=seed)
+    else:
+        grid = Grid.random((3, 2 * vl, 2 * vl), seed=seed)
+    return sched, grid.values, grid.values.shape
+
+
+def _interpret(sched, machine, values):
+    if sched.dims == 1:
+        return sched.simd_sweep_1d(machine, values.copy())
+    if sched.dims == 2:
+        return sched.simd_sweep_2d(machine, values.copy())
+    return sched.simd_sweep_3d(machine, values.copy())
+
+
+class TestLoweringStructure:
+    def test_segments_are_typed_and_valid(self):
+        ir = lower_schedule(FoldingSchedule(box_2d9p(), 2), AVX2)
+        ir.validate()
+        assert [seg.trip for seg in ir.segments] == ["once", "vertical", "horizontal"]
+        for seg in ir.segments:
+            for op in seg.ops:
+                assert op.lanes == ir.vl
+                if op.opcode == "input":
+                    assert op.cls is None
+                else:
+                    assert isinstance(op.cls, InstructionClass)
+                if op.is_memory:
+                    assert op.tag is not None
+
+    def test_1d_block_axes_and_trips(self):
+        ir = lower_schedule(FoldingSchedule(heat_1d(), 2), AVX2)
+        assert [seg.trip for seg in ir.segments] == ["once", "block"]
+        assert ir.block_axes(3 * 16) == (3,)
+        assert ir.trip_counts(3 * 16) == {"once": 1, "block": 3}
+
+    def test_2d_is_a_single_plane(self):
+        ir = lower_schedule(FoldingSchedule(box_2d9p(), 2), AVX2)
+        assert ir.block_axes((8, 12)) == (1, 2, 3)
+        assert ir.trip_counts((8, 12))["vertical"] == 1 * 2 * (3 + 2)
+
+    def test_sweep_counts_reproduce_interpreted_machine(self):
+        for isa in ISAS:
+            bundle = _schedule_inputs(heat_3d(), isa)
+            sched, values, shape = bundle
+            machine = SimdMachine(isa)
+            _interpret(sched, machine, values)
+            counts, peak, spills = lower_schedule(sched, isa).sweep_counts(shape)
+            assert counts.counts == machine.counts.counts
+            assert peak == machine.peak_live_registers
+            assert spills == machine.spill_count
+
+    def test_validate_rejects_double_definition(self):
+        ir = lower_schedule(FoldingSchedule(heat_1d(), 2), AVX2)
+        seg = ir.segments[1]
+        broken = ir.with_segments([ir.segments[0], seg.with_ops(seg.ops + [seg.ops[0]])])
+        with pytest.raises(ValueError, match="defined twice"):
+            broken.validate()
+
+    def test_radius_beyond_vl_rejected(self):
+        with pytest.raises(ValueError, match="radius"):
+            lower_schedule(FoldingSchedule(box_1d5p(), 3), AVX2)
+
+
+class TestEquivalenceAcrossLibrary:
+    """The satellite contract: optimized replay is bit-identical to interpreted
+    execution for every linear library stencil × ISA × layout, and the
+    optimized counts never exceed the unoptimized ones group-wise."""
+
+    @pytest.mark.parametrize("key", LINEAR_KEYS)
+    @pytest.mark.parametrize("isa", ISAS, ids=lambda isa: isa.name)
+    def test_optimized_replay_bit_identical_and_cheaper(self, key, isa):
+        spec = BENCHMARKS[key].spec
+        bundle = _schedule_inputs(spec, isa)
+        if bundle is None:
+            pytest.skip("folded radius exceeds the vector length")
+        sched, values, shape = bundle
+        machine = SimdMachine(isa)
+        ref = _interpret(sched, machine, values)
+
+        base = compile_sweep(sched, isa)
+        opt = compile_sweep(sched, isa, optimize=True)
+        np.testing.assert_array_equal(base.replay(values.copy()), ref)
+        np.testing.assert_array_equal(opt.replay(values.copy()), ref)
+
+        base_counts, base_peak, base_spills = base.sweep_counts(shape)
+        opt_counts, opt_peak, opt_spills = opt.sweep_counts(shape)
+        assert base_counts.counts == machine.counts.counts
+        # Group-wise monotonicity (FMA fusion may shift ARITH into FMA, so
+        # classes are compared as the model's resource groups).
+        assert opt_counts.arithmetic <= base_counts.arithmetic
+        assert opt_counts.data_organization <= base_counts.data_organization
+        assert opt_counts.memory <= base_counts.memory
+        assert opt_peak <= base_peak
+        assert opt_spills <= base_spills
+        # The folded schedules always leave the pipeline something to remove.
+        assert opt_counts.total < base_counts.total
+
+    @pytest.mark.parametrize("key", [k for k in LINEAR_KEYS if BENCHMARKS[k].spec.dims > 1])
+    @pytest.mark.parametrize("isa", ISAS, ids=lambda isa: isa.name)
+    def test_transposed_store_layout_bit_identical(self, key, isa):
+        spec = BENCHMARKS[key].spec
+        bundle = _schedule_inputs(spec, isa)
+        if bundle is None:
+            pytest.skip("folded radius exceeds the vector length")
+        sched, values, _shape = bundle
+        machine = SimdMachine(isa)
+        if sched.dims == 2:
+            ref = sched.simd_sweep_2d(machine, values.copy(), transpose_back=False)
+        else:
+            ref = sched.simd_sweep_3d(machine, values.copy(), transpose_back=False)
+        opt = compile_sweep(sched, isa, transpose_back=False, optimize=True)
+        np.testing.assert_array_equal(opt.replay(values.copy()), ref)
+
+    def test_combination_counterparts_survive_fusion(self):
+        """heat_3d at m=3 materializes combination counterparts (mul+add
+        chains) — the multiply–add fusion's main target."""
+        sched = FoldingSchedule(heat_3d(), 3)
+        assert any(cp.mode == "combination" and cp.omega for cp in sched.materialized)
+        grid = Grid.random((4, 8, 8), seed=24)
+        ref = sched.simd_sweep_3d(SimdMachine(AVX2), grid.values.copy())
+        base = compile_sweep(sched, AVX2)
+        opt = compile_sweep(sched, AVX2, optimize=True)
+        np.testing.assert_array_equal(opt.replay(grid.values.copy()), ref)
+        base_counts, _, _ = base.sweep_counts(grid.values.shape)
+        opt_counts, _, _ = opt.sweep_counts(grid.values.shape)
+        assert opt_counts.get(InstructionClass.ARITH) < base_counts.get(InstructionClass.ARITH)
+        assert opt_counts.arithmetic < base_counts.arithmetic
+
+    def test_multi_sweep_chain_stays_bit_identical(self):
+        sched = FoldingSchedule(heat_1d(), 2)
+        grid = Grid.random((5 * 16,), seed=8)
+        data_i = to_transpose_layout(grid.values, 4)
+        data_o = data_i.copy()
+        machine = SimdMachine(AVX2)
+        opt = compile_sweep(sched, AVX2, optimize=True)
+        for _ in range(4):
+            data_i = sched.simd_sweep_1d(machine, data_i)
+            data_o = opt.replay(data_o)
+        np.testing.assert_array_equal(data_o, data_i)
+
+
+class TestIndividualPasses:
+    def test_cse_merges_duplicate_broadcasts(self):
+        ir = lower_schedule(FoldingSchedule(box_2d9p(), 2), AVX2)
+        opt, reports = PassManager(("cse",)).run(ir)
+        before = ir.segments[0].op_counts().get(InstructionClass.BROADCAST)
+        after = opt.segments[0].op_counts().get(InstructionClass.BROADCAST)
+        assert after < before
+        assert reports[0].removed == before - after
+
+    def test_coalesce_fuses_blend_rotate_on_avx512(self):
+        """The 1-D assembled cross-block operands (blend + rotate) coalesce
+        into single two-source permutes where the ISA has vpermt2pd."""
+        sched = FoldingSchedule(heat_1d(), 2)
+        for isa, expect_gain in ((AVX512, True), (AVX2, False)):
+            ir = lower_schedule(sched, isa)
+            opt, _ = PassManager(("coalesce", "dce")).run(ir)
+            base = ir.segment("block").op_counts()
+            best = opt.segment("block").op_counts()
+            if expect_gain:
+                assert best.data_organization < base.data_organization
+                assert best.get(InstructionClass.BLEND) < base.get(InstructionClass.BLEND)
+            else:
+                assert best.data_organization == base.data_organization
+
+    def test_dce_drops_dead_stage_inputs(self):
+        ir = lower_schedule(FoldingSchedule(box_2d9p(), 2), AVX512)
+        opt, _ = PassManager(("dce",)).run(ir)
+
+        def n_inputs(program):
+            ops = program.segment("horizontal").ops
+            return sum(1 for op in ops if op.opcode == "input")
+
+        assert n_inputs(opt) < n_inputs(ir)
+
+    def test_reschedule_removes_phantom_spills(self):
+        """1D5P folded twice exceeds the AVX-2 registers under the recorded
+        conservative liveness; after CSE shrinks the held weight set, the
+        re-scheduler proves the schedule actually fits."""
+        ir = lower_schedule(FoldingSchedule(box_1d5p(), 2), AVX2)
+        assert ir.segment("block").spills > 0
+        opt, reports = PassManager(True).run(ir)
+        assert opt.segment("block").spills == 0
+        assert opt.segment("block").peak_live <= AVX2.registers
+        assert reports[-1].spills_after < reports[-1].spills_before
+
+    def test_reschedule_never_worsens_recorded_pressure(self):
+        for key in LINEAR_KEYS:
+            bundle = _schedule_inputs(BENCHMARKS[key].spec, AVX2)
+            if bundle is None:
+                continue
+            sched, _values, _shape = bundle
+            ir = lower_schedule(sched, AVX2)
+            opt, _ = PassManager(("reschedule",)).run(ir)
+            for seg_b, seg_o in zip(ir.segments, opt.segments):
+                assert seg_o.peak_live <= seg_b.peak_live
+                assert seg_o.spills <= seg_b.spills
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(KeyError, match="unknown IR pass"):
+            PassManager(("loop-unroll",))
+
+    def test_pass_reports_cover_pipeline(self):
+        compiled = compile_sweep(FoldingSchedule(heat_1d(), 2), AVX512, optimize=True)
+        assert tuple(r.name for r in compiled.pass_reports) == DEFAULT_PASSES
+
+
+class TestPlanIntegration:
+    def test_simulate_optimize_bit_identical_with_smaller_counts(self):
+        p = plan("2d9p").method("folded").unroll(2).compile()
+        grid = Grid.random((16, 16), seed=14)
+        ref, _ = p.simulate(grid, 4, backend="interpret")
+        m_base, m_opt = SimdMachine(AVX2), SimdMachine(AVX2)
+        base, _ = p.simulate(grid, 4, machine=m_base)
+        opt, _ = p.simulate(grid, 4, machine=m_opt, optimize=True)
+        np.testing.assert_array_equal(base, ref)
+        np.testing.assert_array_equal(opt, ref)
+        assert m_opt.counts.total < m_base.counts.total
+
+    def test_both_variants_cached_side_by_side(self):
+        p = plan("1d-heat").method("folded").unroll(2).compile()
+        grid = Grid.random((3 * 16,), seed=19)
+        p.simulate(grid, 2)
+        p.simulate(grid, 2, optimize=True)
+        assert p._trace_cache[("avx2", 1, "none")] is not (
+            p._trace_cache[("avx2", 1, DEFAULT_PASSES)]
+        )
+        first = p._trace_cache[("avx2", 1, DEFAULT_PASSES)]
+        p.simulate(grid, 4, optimize=True)
+        assert p._trace_cache[("avx2", 1, DEFAULT_PASSES)] is first
+
+    def test_custom_pass_list(self):
+        p = plan("1d-heat").method("folded").unroll(2).compile()
+        grid = Grid.random((3 * 16,), seed=20)
+        ref, _ = p.simulate(grid, 2, backend="interpret")
+        out, _ = p.simulate(grid, 2, optimize=("cse", "dce"))
+        np.testing.assert_array_equal(out, ref)
+        assert ("avx2", 1, ("cse", "dce")) in p._trace_cache
+
+    def test_custom_callables_with_same_name_do_not_collide(self):
+        """Two distinct callables share __name__; the cache must still run both."""
+        p = plan("1d-heat").method("folded").unroll(2).compile()
+        grid = Grid.random((3 * 16,), seed=21)
+        calls = []
+
+        def make(tag):
+            def custom(ir):
+                calls.append(tag)
+                return ir
+
+            return custom
+
+        p.simulate(grid, 2, optimize=(make("a"),))
+        p.simulate(grid, 2, optimize=(make("b"),))
+        assert calls == ["a", "b"]
+
+    def test_empty_pass_selection_means_no_optimization(self):
+        p = plan("1d-heat").method("folded").unroll(2).compile()
+        grid = Grid.random((3 * 16,), seed=22)
+        ref, _ = p.simulate(grid, 2, backend="interpret")
+        out, _ = p.simulate(grid, 2, backend="interpret", optimize=())
+        np.testing.assert_array_equal(out, ref)
+        p.simulate(grid, 2, optimize=())
+        assert set(p._trace_cache) == {("avx2", 1, "none")}
+
+    def test_legacy_constructor_misuse_gets_clear_error(self):
+        from repro.trace import CompiledSweep1D
+
+        with pytest.raises(TypeError, match="compile_sweep"):
+            CompiledSweep1D(FoldingSchedule(heat_1d(), 2), AVX2)
+
+    def test_optimize_with_interpret_backend_rejected(self):
+        p = plan("1d-heat").method("folded").unroll(2).compile()
+        with pytest.raises(ValueError, match="trace backend"):
+            p.simulate(Grid.random((48,), seed=1), 2, backend="interpret", optimize=True)
+
+    def test_explain_reports_pass_deltas(self):
+        text = plan("2d9p").method("folded").unroll(2).compile().explain()
+        assert "ir pipeline" in text
+        assert "static ops" in text
+
+    def test_profile_equals_optimized_ir_steady_state(self):
+        """'Estimated' and 'simulated' counts come from the same IR.
+
+        Applies to the stencils whose folding is arithmetically profitable —
+        the others degenerate to the in-register multi-step fallback, which
+        has no register-level schedule to lower.
+        """
+        from repro.core.folding import arithmetically_profitable
+
+        checked = 0
+        for key in LINEAR_KEYS:
+            spec = BENCHMARKS[key].spec
+            if not arithmetically_profitable(spec, 2):
+                continue
+            if FoldingSchedule(spec, 2).radius > 4:
+                continue
+            checked += 1
+            profile = build_profile("folded", spec, isa="avx2", m=2)
+            sched = FoldingSchedule(spec, 2)
+            ir = sched.schedule_ir(4, optimize=True)
+            expected = ir.steady_counts_per_point()
+            from repro.baselines.common import post_rule_counts
+
+            expected = expected.merge(post_rule_counts(spec, 4))
+            assert profile.counts_per_point.counts == expected.counts
+        assert checked >= 3
+
+
+class TestIntegralCounts:
+    def test_interpreted_counts_stay_integral(self):
+        p = plan("2d9p").method("folded").unroll(2).compile()
+        machine = SimdMachine(AVX2)
+        p.simulate(Grid.random((16, 16), seed=2), 2, machine=machine, backend="interpret")
+        assert all(isinstance(v, int) for v in machine.counts.counts.values())
+
+    def test_trace_counts_round_trip_integrally_through_absorb(self):
+        """scaled()/merge() by whole factors must not leak floats (the bug
+        this PR fixes): trace accounting scales per-segment tallies by block
+        counts and absorbs them into the machine."""
+        p = plan("3d-heat").method("folded").unroll(2).compile()
+        m_trace, m_interp = SimdMachine(AVX2), SimdMachine(AVX2)
+        grid = Grid.random((3, 8, 8), seed=3)
+        p.simulate(grid, 4, machine=m_trace)
+        p.simulate(grid, 4, machine=m_interp, backend="interpret")
+        assert m_trace.counts.counts == m_interp.counts.counts
+        assert all(isinstance(v, int) for v in m_trace.counts.counts.values())
+        assert isinstance(m_trace.counts.total, int)
+
+    def test_scaled_and_merge_semantics(self):
+        counts = InstructionCounts()
+        counts.add(InstructionClass.FMA, 10)
+        doubled = counts.scaled(2.0).merge(counts.scaled(3))
+        assert doubled.counts[InstructionClass.FMA] == 50
+        assert isinstance(doubled.counts[InstructionClass.FMA], int)
+        fractional = counts.scaled(0.5)
+        assert fractional.counts[InstructionClass.FMA] == pytest.approx(5.0)
+        assert isinstance(fractional.counts[InstructionClass.FMA], float)
+
+
+class TestCacheIrProfile:
+    @pytest.mark.parametrize(
+        "key,shape", [("1d-heat", 48), ("2d9p", (16, 12)), ("3d-heat", (3, 8, 8))]
+    )
+    def test_access_stream_matches_oracle_and_counts(self, key, shape):
+        ir = lower_schedule(FoldingSchedule(BENCHMARKS[key].spec, 2), AVX2)
+        profile = ir_memory_profile(ir, shape)
+        addrs, writes, nbytes = ir_access_stream(ir, shape)
+        assert addrs.size == profile["loads"] + profile["stores"]
+        assert int(writes.sum()) == profile["stores"]
+        levels = hierarchy_from_machine(XEON_GOLD_6140_AVX2)
+        fast = CacheHierarchySimulator(levels)
+        oracle = CacheHierarchySimulator(levels)
+        fast.access_stream(addrs, size=nbytes, is_write=writes)
+        for addr, write in zip(addrs.tolist(), writes.tolist()):
+            oracle.access(addr, size=nbytes, is_write=write)
+        for got, want in zip(fast.levels, oracle.levels):
+            assert (got.hits, got.misses, got.evictions, got.writebacks) == (
+                want.hits,
+                want.misses,
+                want.evictions,
+                want.writebacks,
+            )
+        assert fast.dram_reads == oracle.dram_reads
+        assert fast.dram_writes == oracle.dram_writes
+
+    def test_memory_profile_separates_spill_traffic(self):
+        ir = lower_schedule(FoldingSchedule(BENCHMARKS["3d-heat"].spec, 2), AVX2)
+        shape = (3, 8, 8)
+        profile = ir_memory_profile(ir, shape)
+        counts, _, spills = ir.sweep_counts(shape)
+        assert profile["spill_loads"] == spills
+        assert profile["loads"] + spills == counts.get(InstructionClass.LOAD)

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.engine import ENGINE_METHODS, StencilEngine
 from repro.core import vectorized_folding
 from repro.core.plan import CompiledPlan, plan
 from repro.methods import profile_folded
@@ -98,12 +97,14 @@ class TestBuilder:
 
 
 class TestCompiledPlanExecution:
-    def test_round_trips_every_engine_method(self):
-        """Acceptance: every ENGINE_METHODS key compiles and runs via the registry."""
+    def test_round_trips_every_executable_method(self):
+        """Acceptance: every executable method key compiles and runs via the registry."""
+        from repro.methods import METHOD_KEYS
+
         case = BENCHMARKS["2d9p"]
         grid = case.make_grid((24, 24))
         ref = reference_run(case.spec, grid, 4)
-        for key in ENGINE_METHODS:
+        for key in ("reference",) + METHOD_KEYS:
             p = plan(case.spec).method(key).unroll(2).compile()
             out = p.run(grid, 4)
             assert_allclose(out, ref, context=f"plan/{key}")
@@ -326,22 +327,11 @@ class TestSimulationDimsValidation:
         assert counts.total > 0
 
 
-class TestEngineBackCompat:
-    def test_engine_emits_deprecation_warning(self):
-        with pytest.warns(DeprecationWarning, match="repro.plan"):
-            StencilEngine(heat_1d())
+class TestEngineRemoval:
+    def test_stencil_engine_wrapper_is_gone(self):
+        """The deprecated StencilEngine facade was removed with PR 5."""
+        import repro
+        import repro.core
 
-    def test_engine_delegates_to_plan(self):
-        case = BENCHMARKS["2d9p"]
-        grid = case.make_grid((24, 24))
-        with pytest.warns(DeprecationWarning):
-            engine = StencilEngine(case.spec, method="folded", unroll=2)
-        p = plan(case.spec).method("folded").unroll(2).compile()
-        np.testing.assert_array_equal(engine.run(grid, 4), p.run(grid, 4))
-        assert engine.plan.config == p.config
-        assert engine.profile().counts_per_point.counts == p.profile().counts_per_point.counts
-
-    def test_engine_methods_match_registry(self):
-        from repro.registry import method_keys
-
-        assert ENGINE_METHODS == ("reference",) + method_keys()
+        assert not hasattr(repro, "StencilEngine")
+        assert not hasattr(repro.core, "StencilEngine")

@@ -36,10 +36,10 @@ class TestBuiltinRegistrations:
         )
         assert METHOD_KEYS == method_keys()
 
-    def test_every_engine_method_is_registered(self):
-        from repro.core.engine import ENGINE_METHODS
+    def test_every_executable_method_is_registered(self):
+        from repro.methods import METHOD_KEYS
 
-        for key in ENGINE_METHODS:
+        for key in ("reference",) + METHOD_KEYS:
             descriptor = get_method(key)
             assert descriptor.key == key
             assert not descriptor.virtual

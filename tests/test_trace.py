@@ -30,8 +30,7 @@ from repro.stencils.library import (
     symmetric_box_2d9p,
 )
 from repro.trace import (
-    CompiledSweep1D,
-    CompiledSweep2D,
+    CompiledSweep,
     CompiledSweep3D,
     TraceRecorder,
     compile_sweep,
@@ -113,7 +112,9 @@ class TestBitIdentity2D:
         live_inputs = [
             step[0] for step in compiled._horizontal_prog.steps if step[0].opcode == "input"
         ]
-        recorded_inputs = [op for op in compiled._horizontal.ops if op.opcode == "input"]
+        recorded_inputs = [
+            op for op in compiled.ir.segment("horizontal").ops if op.opcode == "input"
+        ]
         assert len(live_inputs) < len(recorded_inputs)
         grid = Grid.random((16, 16), seed=22)
         ref = FoldingSchedule(box_2d9p(), 2).simd_sweep_2d(SimdMachine(AVX512), grid.values.copy())
@@ -278,9 +279,9 @@ class TestPlanBackend:
         p = plan(heat_1d()).method("folded").unroll(2).compile()
         grid = Grid.random((3 * 16,), seed=19)
         p.simulate(grid, 2)
-        first = p._trace_cache[("avx2", 1)]
+        first = p._trace_cache[("avx2", 1, "none")]
         p.simulate(grid, 4)
-        assert p._trace_cache[("avx2", 1)] is first
+        assert p._trace_cache[("avx2", 1, "none")] is first
 
     def test_zero_sweeps_leave_machine_untouched(self):
         p = plan(heat_1d()).method("folded").unroll(2).compile()
@@ -299,21 +300,18 @@ class TestPlanBackend:
 class TestValidation:
     def test_3d_schedules_compile(self):
         compiled = compile_sweep(FoldingSchedule(box_3d27p(), 1), AVX2)
-        assert isinstance(compiled, CompiledSweep3D)
+        assert isinstance(compiled, CompiledSweep3D)  # historical alias
+        assert isinstance(compiled, CompiledSweep)
         assert compiled.dims == 3
 
-    def test_dimension_mismatch_rejected(self):
-        sched3 = FoldingSchedule(heat_3d(), 1)
-        sched2 = FoldingSchedule(heat_2d(), 1)
-        sched1 = FoldingSchedule(heat_1d(), 1)
-        with pytest.raises(ValueError):
-            CompiledSweep1D(sched2, AVX2)
-        with pytest.raises(ValueError):
-            CompiledSweep2D(sched1, AVX2)
-        with pytest.raises(ValueError):
-            CompiledSweep3D(sched2, AVX2)
-        with pytest.raises(ValueError):
-            CompiledSweep2D(sched3, AVX2)
+    def test_grid_dimensionality_mismatch_rejected(self):
+        """A compiled sweep only replays grids of its schedule's dimensionality."""
+        compiled2 = compile_sweep(FoldingSchedule(heat_2d(), 1), AVX2)
+        with pytest.raises(ValueError, match="2-D"):
+            compiled2.replay(np.zeros((4, 16, 16)))
+        compiled3 = compile_sweep(FoldingSchedule(heat_3d(), 1), AVX2)
+        with pytest.raises(ValueError, match="3-D"):
+            compiled3.replay(np.zeros((16, 16)))
 
     def test_radius_exceeding_vl_rejected(self):
         # 1d5p has radius 2; m=3 folds to radius 6 > vl=4.
