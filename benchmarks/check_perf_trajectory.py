@@ -22,9 +22,16 @@ previous PR's trajectory point).  The gate fails when:
   strictly fewer ops, so only timing noise sits between it and parity), or
 * the fresh artifact lacks 2-D or 3-D coverage entirely.
 
+With ``--service BENCH_service.json --service-baseline <previous>`` the gate
+additionally checks the service-throughput artifact: every baseline case
+must still exist, every case must show forward progress (finite positive
+``requests_per_sec``) and the cache hierarchy must hold its hit rate
+(``hit_rate`` ≥ 0.75, the bar the 90/10 load mix is designed to clear).
+
 Absolute seconds are *not* gated — CI machines vary — only the relative
-speedups, count reductions and the case coverage, which is what "no perf
-regression in the trajectory" means for a simulated-machine benchmark.
+speedups, count reductions, hit rates and the case coverage, which is what
+"no perf regression in the trajectory" means for a simulated-machine
+benchmark.
 """
 
 from __future__ import annotations
@@ -41,6 +48,10 @@ MIN_SPEEDUP = 10.0
 #: Minimum optimized-over-unoptimized replay speed for pass-ablation cases
 #: (a noise guard, not a perf claim — the count reduction is the real gate).
 MIN_ABLATION_SPEEDUP = 0.75
+
+#: Minimum service cache hit rate for the 90/10 hot/cold mix, matching
+#: benchmarks/test_service_throughput.py's asserted floor.
+MIN_SERVICE_HIT_RATE = 0.75
 
 
 def load_cases(path: Path) -> dict:
@@ -85,6 +96,29 @@ def check(current: dict, baseline: dict, min_speedup: float) -> list:
     return problems
 
 
+def check_service(current: dict, baseline: dict, min_hit_rate: float) -> list:
+    """Gate violations for the service-throughput artifact (empty = holds)."""
+    problems = []
+    for name in sorted(baseline):
+        if name not in current:
+            problems.append(f"service case {name!r} present in the baseline has disappeared")
+    if not current:
+        problems.append("service artifact has no cases at all")
+    for name, case in sorted(current.items()):
+        rps = float(case.get("requests_per_sec", 0.0))
+        hit_rate = float(case.get("hit_rate", 0.0))
+        if not rps > 0:
+            problems.append(f"service case {name!r}: requests_per_sec is {rps}")
+        if hit_rate < min_hit_rate:
+            problems.append(
+                f"service case {name!r}: hit rate {hit_rate:.3f} is below the "
+                f"{min_hit_rate:.2f} floor"
+            )
+        if int(case.get("requests", 0)) <= 0:
+            problems.append(f"service case {name!r}: no requests recorded")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="freshly generated BENCH_simulation.json")
@@ -100,11 +134,43 @@ def main(argv=None) -> int:
         default=MIN_SPEEDUP,
         help=f"minimum trace-over-interpret speedup (default {MIN_SPEEDUP:.0f})",
     )
+    parser.add_argument(
+        "--service",
+        type=Path,
+        default=None,
+        help="freshly generated BENCH_service.json (optional)",
+    )
+    parser.add_argument(
+        "--service-baseline",
+        type=Path,
+        default=None,
+        help="previous BENCH_service.json to compare against",
+    )
+    parser.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=MIN_SERVICE_HIT_RATE,
+        help=f"minimum service cache hit rate (default {MIN_SERVICE_HIT_RATE:.2f})",
+    )
     args = parser.parse_args(argv)
 
     current = load_cases(args.current)
     baseline = load_cases(args.baseline)
     problems = check(current, baseline, args.min_speedup)
+
+    if args.service is not None:
+        service_current = load_cases(args.service)
+        service_baseline = (
+            load_cases(args.service_baseline)
+            if args.service_baseline is not None and args.service_baseline.exists()
+            else {}
+        )
+        problems += check_service(service_current, service_baseline, args.min_hit_rate)
+        for name, case in sorted(service_current.items()):
+            print(
+                f"  {name}: {float(case.get('requests_per_sec', 0.0)):.0f} req/s, "
+                f"hit rate {float(case.get('hit_rate', 0.0)):.3f}"
+            )
 
     print(f"baseline cases : {', '.join(sorted(baseline)) or '(none)'}")
     print(f"current cases  : {', '.join(sorted(current)) or '(none)'}")

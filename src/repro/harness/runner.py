@@ -185,13 +185,26 @@ def main(argv: List[str] | None = None) -> int:
         sweep_kwargs["benchmarks"] = tuple(
             key.strip() for key in args.benchmarks.split(",") if key.strip()
         )
+    cache = EvalCache()
     try:
-        results = run_all(args.names or None, **sweep_kwargs)
+        results = run_all(args.names or None, cache=cache, **sweep_kwargs)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps([result.to_dict() for result in results], indent=2, default=str))
+        # Same accounting surface as the service's /stats endpoint: overall
+        # CacheStats plus a per-kind breakdown (profile/estimate/...).
+        document = {
+            "experiments": [result.to_dict() for result in results],
+            "cache": {
+                "overall": cache.stats.to_dict(),
+                "by_kind": {
+                    kind: stats.to_dict()
+                    for kind, stats in cache.stats_by_kind().items()
+                },
+            },
+        }
+        print(json.dumps(document, indent=2, default=str))
     else:
         for result in results:
             print(format_experiment(result))

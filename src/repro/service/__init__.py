@@ -1,0 +1,55 @@
+"""repro.service — the async, sharded stencil-compute service.
+
+A small production-style serving layer over the compile-once/run-many plan
+API: an :mod:`asyncio` front end (:mod:`repro.service.server`) validates
+JSON requests against the method registry, coalesces concurrent identical
+requests, schedules cold work onto a process-pool worker tier
+(:mod:`repro.service.workers`, studies sharded across workers), and answers
+repeats from a two-level cache — in-memory
+:class:`~repro.study.cache.EvalCache` over the persistent, versioned,
+LRU-capped :class:`~repro.service.store.ResultStore`.
+
+Start it with ``repro-serve`` (or ``python -m repro.service.server``) and
+talk to it with :class:`~repro.service.client.ServiceClient` — see
+``examples/service_client.py`` and the README's "Running the service".
+"""
+
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.protocol import (
+    KINDS,
+    PROTOCOL_VERSION,
+    Request,
+    ServiceError,
+    normalize,
+)
+from repro.service.serial import UnserialisableValue, decode, encode
+from repro.service.server import (
+    ServiceConfig,
+    ServiceHandle,
+    StencilService,
+    serve_background,
+)
+from repro.service.store import STORE_VERSION, ResultStore, StoreStats
+from repro.service.workers import WorkerPool, execute_payload
+
+__all__ = [
+    "KINDS",
+    "PROTOCOL_VERSION",
+    "STORE_VERSION",
+    "Request",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHandle",
+    "ServiceUnavailable",
+    "StencilService",
+    "StoreStats",
+    "UnserialisableValue",
+    "WorkerPool",
+    "decode",
+    "encode",
+    "execute_payload",
+    "normalize",
+    "serve_background",
+]

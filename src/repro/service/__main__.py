@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — alias for the ``repro-serve`` entry point."""
+
+from repro.service.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+"""Small synchronous client for the stencil-compute service.
+
+Talks plain HTTP/1.1 over TCP or a Unix socket via :mod:`http.client` —
+no third-party dependencies — and decodes tagged values (arrays, dataclasses)
+back into Python objects.  Intended for scripts, tests and benchmarks::
+
+    with ServiceClient("http://127.0.0.1:8750") as client:
+        reply = client.submit({"kind": "estimate", "stencil": "heat-3d",
+                               "method": "folded", "m": 4})
+        print(reply["served_from"], reply["result"]["gflops"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service import serial
+
+__all__ = ["ServiceClient", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(ConnectionError):
+    """The service could not be reached (refused, reset, or timed out)."""
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None):
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:  # pragma: no cover - exercised via --unix runs
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """One service endpoint; connections are per-call (the server closes
+    after each response), so a client object is cheap and thread-safe."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        if base_url.startswith("unix://"):
+            self._unix_path: Optional[str] = base_url[len("unix://") :]
+            self._netloc = None
+        else:
+            self._unix_path = None
+            stripped = self.base_url
+            for prefix in ("http://", "https://"):
+                if stripped.startswith(prefix):
+                    stripped = stripped[len(prefix) :]
+            self._netloc = stripped
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._unix_path is not None:
+            return _UnixHTTPConnection(self._unix_path, timeout=self.timeout)
+        return http.client.HTTPConnection(self._netloc, timeout=self.timeout)
+
+    def request_raw(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, bytes]:
+        """One HTTP exchange; returns ``(status, body_bytes)`` verbatim.
+
+        The raw form exists so tests can assert byte-identical responses
+        (cache correctness) without any decode/re-encode laundering.
+        """
+        conn = self._connection()
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        except (ConnectionError, socket.timeout, socket.gaierror, OSError) as exc:
+            raise ServiceUnavailable(f"{method} {path} on {self.base_url}: {exc}") from exc
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------ #
+    # API
+    # ------------------------------------------------------------------ #
+    def submit(self, payload: Dict[str, Any], decode_result: bool = True) -> Dict[str, Any]:
+        """POST one request; returns the response envelope.
+
+        Raises :class:`ServiceError`-shaped ``RuntimeError`` on non-2xx so
+        callers don't silently treat errors as results.  With
+        ``decode_result`` (default) the envelope's ``result`` has tagged
+        arrays decoded back to ``numpy.ndarray``.
+        """
+        body = json.dumps(payload, sort_keys=True).encode()
+        status, raw = self.request_raw("POST", "/v1/requests", body)
+        envelope = json.loads(raw.decode())
+        if status != 200 or not envelope.get("ok", False):
+            error = envelope.get("error", {})
+            message = error.get("message", repr(raw[:200]))
+            raise RuntimeError(f"service error {status}: {error.get('code', '?')}: {message}")
+        if decode_result and "result" in envelope:
+            envelope["result"] = serial.decode(envelope["result"])
+        return envelope
+
+    def submit_raw(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        """POST one request; return the raw ``(status, body)`` exchange."""
+        body = json.dumps(payload, sort_keys=True).encode()
+        return self.request_raw("POST", "/v1/requests", body)
+
+    def stats(self) -> Dict[str, Any]:
+        status, raw = self.request_raw("GET", "/v1/stats")
+        if status != 200:
+            raise RuntimeError(f"stats endpoint returned {status}")
+        return json.loads(raw.decode())
+
+    def healthy(self) -> bool:
+        """Whether the service answers ``/healthz`` (False on conn errors)."""
+        try:
+            status, raw = self.request_raw("GET", "/healthz")
+        except ServiceUnavailable:
+            return False
+        if status != 200:
+            return False
+        return bool(json.loads(raw.decode()).get("ok"))
+
+    # ------------------------------------------------------------------ #
+    # context manager sugar
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServiceClient({self.base_url!r})"

@@ -1,0 +1,353 @@
+"""Request schema, validation and canonical keys of the compute service.
+
+A request is one JSON object: ``{"kind": ..., <parameters>}``.  Kinds map
+onto the plan API's verbs:
+
+``plan``
+    Compile a plan and return its explanation and derived configuration.
+``estimate``
+    Modelled performance (GFLOPS, cycles/point) of a configuration on the
+    paper's machine model — the cheap, cache-friendly workhorse.
+``simulate``
+    Execute the register-level schedule on the simulated SIMD machine and
+    return the final grid plus the instruction tally.
+``run``
+    Numerically advance a grid with the compiled method.
+``study``
+    A declarative sweep (axes of method/isa/unroll) evaluated cell-by-cell;
+    the server shards the cross-product across its worker pool.
+
+:func:`normalize` validates a raw payload against the method registry and
+the benchmark library **before** it costs a queue slot, fills defaults, and
+returns a canonical :class:`Request` whose :attr:`~Request.key` is stable
+across processes, platforms and JSON key orders
+(:func:`repro.study.hashing.config_hash` — see the golden-hash tests).
+That key is the identity used for single-flight dedup, the in-memory
+response cache and the persistent store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.registry import get_method, is_registered
+from repro.stencils.library import BENCHMARKS, get_benchmark
+from repro.study.hashing import config_hash
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "KINDS",
+    "INTERNAL_KINDS",
+    "ServiceError",
+    "Request",
+    "normalize",
+    "expand_study_cells",
+    "shard_cells",
+]
+
+#: Wire-format version; part of every request key so a future incompatible
+#: protocol cannot read this one's store entries as its own.
+PROTOCOL_VERSION = 1
+
+#: Public request kinds, cheap → expensive.
+KINDS = ("plan", "estimate", "simulate", "run", "study")
+
+#: Fault-injection kinds used by the test suite and disabled by default
+#: (:class:`~repro.service.server.ServiceConfig.enable_fault_injection`).
+INTERNAL_KINDS = ("_sleep", "_crash")
+
+#: Kinds whose cold execution is heavyweight (full grid sweeps): they queue
+#: behind cheap analysis requests at the same arrival time.
+EXPENSIVE_KINDS = frozenset({"simulate", "run", "study", "_sleep", "_crash"})
+
+ISAS = ("avx2", "avx512")
+
+
+class ServiceError(Exception):
+    """A structured, client-visible failure.
+
+    ``code`` is machine-matchable (``invalid-request``, ``overloaded``,
+    ``timeout``, ``worker-crash``, ``draining``, ``internal``); ``status``
+    is the HTTP status the front end maps it to.
+    """
+
+    def __init__(self, code: str, message: str, status: int = 400):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.status = status
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"code": self.code, "message": self.message}
+
+
+def _invalid(message: str) -> ServiceError:
+    return ServiceError("invalid-request", message, status=400)
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated, canonicalised request.
+
+    ``params`` is complete (defaults filled) and key-sorted; ``key`` is the
+    request's content hash — equal requests, however spelled, share it.
+    """
+
+    kind: str
+    params: Mapping[str, Any]
+    key: str
+
+    @property
+    def expensive(self) -> bool:
+        """Whether a cold execution is heavyweight (priority class)."""
+        return self.kind in EXPENSIVE_KINDS
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The canonical JSON payload (what workers receive)."""
+        return {"kind": self.kind, **self.params}
+
+
+# --------------------------------------------------------------------------- #
+# field coercers
+# --------------------------------------------------------------------------- #
+def _str_field(params: Mapping[str, Any], name: str, default: Optional[str]) -> str:
+    value = params.get(name, default)
+    if not isinstance(value, str) or not value:
+        raise _invalid(f"{name!r} must be a non-empty string")
+    return value.strip().lower()
+
+
+def _int_field(params: Mapping[str, Any], name: str, default: Optional[int], minimum: int) -> int:
+    value = params.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _invalid(f"{name!r} must be an integer")
+    if value < minimum:
+        raise _invalid(f"{name!r} must be >= {minimum}")
+    return value
+
+def _bool_field(params: Mapping[str, Any], name: str, default: bool) -> bool:
+    value = params.get(name, default)
+    if not isinstance(value, bool):
+        raise _invalid(f"{name!r} must be a boolean")
+    return value
+
+
+def _shape_field(
+    params: Mapping[str, Any], name: str = "shape", max_points: int = 1 << 24
+) -> List[int]:
+    value = params.get(name)
+    if not isinstance(value, (list, tuple)) or not 1 <= len(value) <= 3:
+        raise _invalid(f"{name!r} must be a list of 1-3 extents")
+    shape = []
+    total = 1
+    for extent in value:
+        if isinstance(extent, bool) or not isinstance(extent, int) or extent < 1:
+            raise _invalid(f"{name!r} extents must be positive integers")
+        shape.append(extent)
+        total *= extent
+    if total > max_points:
+        raise _invalid(f"{name!r} exceeds the service's {max_points}-point limit")
+    return shape
+
+
+def _stencil_field(params: Mapping[str, Any]) -> str:
+    key = _str_field(params, "stencil", None)
+    try:
+        return get_benchmark(key).key
+    except KeyError:
+        raise _invalid(f"unknown stencil {key!r}; known: {', '.join(sorted(BENCHMARKS))}") from None
+
+
+def _method_field(params: Mapping[str, Any], executable: bool) -> str:
+    key = _str_field(params, "method", "folded")
+    if not is_registered(key):
+        raise _invalid(f"unknown method {key!r}")
+    descriptor = get_method(key)
+    if descriptor.virtual:
+        raise _invalid(f"method {key!r} is a figure label, not an executable method")
+    if executable and descriptor.profile_only:
+        raise _invalid(f"method {key!r} is profile-only; it cannot execute requests")
+    if not executable and descriptor.profile_builder is None:
+        raise _invalid(f"method {key!r} has no instruction profile to estimate from")
+    return descriptor.key
+
+
+def _isa_field(params: Mapping[str, Any]) -> str:
+    isa = _str_field(params, "isa", "avx2")
+    if isa not in ISAS:
+        raise _invalid(f"'isa' must be one of {ISAS}")
+    return isa
+
+
+# --------------------------------------------------------------------------- #
+# per-kind normalisers — each returns the complete params dict
+# --------------------------------------------------------------------------- #
+def _normalize_plan(params: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "stencil": _stencil_field(params),
+        "method": _method_field(params, executable=True),
+        "isa": _isa_field(params),
+        "m": _int_field(params, "m", 2, 1),
+    }
+
+
+def _normalize_estimate(params: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "stencil": _stencil_field(params),
+        "method": _method_field(params, executable=False),
+        "isa": _isa_field(params),
+        "m": _int_field(params, "m", 2, 1),
+        "shape": _shape_field(params) if "shape" in params else [4096, 4096],
+        "time_steps": _int_field(params, "time_steps", 1000, 1),
+        "cores": _int_field(params, "cores", 1, 1),
+        "shifts_reuse": _bool_field(params, "shifts_reuse", True),
+    }
+
+
+def _normalize_simulate(params: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "stencil": _stencil_field(params),
+        "method": _method_field(params, executable=True),
+        "isa": _isa_field(params),
+        "m": _int_field(params, "m", 2, 1),
+        "shape": _shape_field(params, max_points=1 << 20),
+        "steps": _int_field(params, "steps", None, 1),
+        "seed": _int_field(params, "seed", 0, 0),
+        "optimize": _bool_field(params, "optimize", False),
+    }
+
+
+def _normalize_run(params: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "stencil": _stencil_field(params),
+        "method": _method_field(params, executable=True),
+        "isa": _isa_field(params),
+        "m": _int_field(params, "m", 2, 1),
+        "shape": _shape_field(params, max_points=1 << 22),
+        "steps": _int_field(params, "steps", None, 1),
+        "seed": _int_field(params, "seed", 0, 0),
+    }
+
+
+#: Axes a study request may sweep, with their validators.
+_STUDY_AXES = ("method", "isa", "m")
+
+
+def _normalize_study(params: Mapping[str, Any]) -> Dict[str, Any]:
+    axes_raw = params.get("axes")
+    if not isinstance(axes_raw, Mapping) or not axes_raw:
+        raise _invalid("'axes' must be a non-empty mapping of axis name -> values")
+    axes: Dict[str, List[Any]] = {}
+    for name, values in axes_raw.items():
+        if name not in _STUDY_AXES:
+            raise _invalid(f"unknown study axis {name!r}; known: {_STUDY_AXES}")
+        if not isinstance(values, (list, tuple)) or not values:
+            raise _invalid(f"study axis {name!r} must be a non-empty list")
+        levels = []
+        for value in values:
+            probe = {name: value}
+            if name == "method":
+                levels.append(_method_field(probe, executable=False))
+            elif name == "isa":
+                levels.append(_isa_field(probe))
+            else:
+                levels.append(_int_field(probe, "m", None, 1))
+        axes[name] = levels
+    cells = 1
+    for levels in axes.values():
+        cells *= len(levels)
+    if cells > 4096:
+        raise _invalid(f"study expands to {cells} cells; the service caps at 4096")
+    return {
+        "stencil": _stencil_field(params),
+        # Axis order is canonical (method, isa, m) so equal studies share a
+        # key; row order is restored from the cells themselves.
+        "axes": {name: axes[name] for name in _STUDY_AXES if name in axes},
+        "shape": _shape_field(params) if "shape" in params else [4096, 4096],
+        "time_steps": _int_field(params, "time_steps", 1000, 1),
+        "cores": _int_field(params, "cores", 1, 1),
+    }
+
+
+def _normalize_sleep(params: Mapping[str, Any]) -> Dict[str, Any]:
+    seconds = params.get("seconds", 0.05)
+    if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
+        raise _invalid("'seconds' must be a number")
+    if not 0 <= seconds <= 30:
+        raise _invalid("'seconds' must lie in [0, 30]")
+    return {"seconds": float(seconds), "token": params.get("token", 0)}
+
+
+def _normalize_crash(params: Mapping[str, Any]) -> Dict[str, Any]:
+    marker = params.get("marker")
+    if not isinstance(marker, str) or not marker:
+        raise _invalid("'marker' must be a file path string")
+    return {"marker": marker}
+
+
+_NORMALIZERS = {
+    "plan": _normalize_plan,
+    "estimate": _normalize_estimate,
+    "simulate": _normalize_simulate,
+    "run": _normalize_run,
+    "study": _normalize_study,
+    "_sleep": _normalize_sleep,
+    "_crash": _normalize_crash,
+}
+
+
+def normalize(payload: Any, allow_internal: bool = False) -> Request:
+    """Validate ``payload`` and return the canonical :class:`Request`.
+
+    Raises :class:`ServiceError` (code ``invalid-request``) for anything
+    malformed; the error message names the offending field so clients can
+    fix their request without reading server logs.
+    """
+    if not isinstance(payload, Mapping):
+        raise _invalid("request body must be a JSON object")
+    kind = payload.get("kind")
+    if not isinstance(kind, str):
+        raise _invalid("'kind' must be a string")
+    kind = kind.strip().lower()
+    known: Tuple[str, ...] = KINDS + (INTERNAL_KINDS if allow_internal else ())
+    if kind not in known:
+        raise _invalid(f"unknown kind {kind!r}; known: {', '.join(KINDS)}")
+    params = _NORMALIZERS[kind](payload)
+    key = config_hash("service", PROTOCOL_VERSION, kind, params)
+    return Request(kind=kind, params=params, key=key)
+
+
+# --------------------------------------------------------------------------- #
+# study sharding
+# --------------------------------------------------------------------------- #
+def expand_study_cells(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """The study's cross-product, in canonical axis order (method, isa, m).
+
+    The first declared axis varies slowest, mirroring
+    :meth:`repro.study.builder.StudyBuilder.over` semantics.
+    """
+    axes: Mapping[str, Sequence[Any]] = params["axes"]
+    cells: List[Dict[str, Any]] = [{}]
+    for name in _STUDY_AXES:
+        if name not in axes:
+            continue
+        cells = [dict(cell, **{name: value}) for cell in cells for value in axes[name]]
+    defaults = {"method": "folded", "isa": "avx2", "m": 2}
+    return [
+        {"index": i, **{k: cell.get(k, defaults[k]) for k in _STUDY_AXES}}
+        for i, cell in enumerate(cells)
+    ]
+
+
+def shard_cells(cells: Sequence[Dict[str, Any]], shards: int) -> List[List[Dict[str, Any]]]:
+    """Split ``cells`` into at most ``shards`` contiguous, ordered chunks."""
+    shards = max(1, min(int(shards), len(cells)))
+    size, extra = divmod(len(cells), shards)
+    out: List[List[Dict[str, Any]]] = []
+    start = 0
+    for i in range(shards):
+        end = start + size + (1 if i < extra else 0)
+        out.append(list(cells[start:end]))
+        start = end
+    return out

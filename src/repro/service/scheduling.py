@@ -1,0 +1,189 @@
+"""Backpressure primitives: priority admission queue, histograms, counters.
+
+Under heavy traffic the service must (a) keep cheap requests responsive
+while cold ``simulate``/``study`` jobs grind, and (b) shed load instead of
+building an unbounded backlog.  Both live here:
+
+* :class:`AdmissionQueue` — a bounded two-priority queue.  Cheap requests
+  (``plan``/``estimate`` and anything already known to be cached) are
+  admitted at priority 0 and overtake expensive cold jobs at priority 1;
+  a full queue rejects immediately (``overloaded``) — the client retries,
+  the server never falls behind.
+* :class:`LatencyHistogram` — fixed log₂ buckets in milliseconds, cheap to
+  update, meaningful in a ``/stats`` JSON dump.
+* :class:`ServiceStats` — per-kind request counters plus gauges, the single
+  source for the ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "PRIORITY_CHEAP",
+    "PRIORITY_EXPENSIVE",
+    "AdmissionQueue",
+    "LatencyHistogram",
+    "ServiceStats",
+]
+
+PRIORITY_CHEAP = 0
+PRIORITY_EXPENSIVE = 1
+
+
+class AdmissionQueue:
+    """Bounded priority queue with non-blocking admission.
+
+    Entries are ``(priority, seq, item)``: the sequence number keeps FIFO
+    order within a priority class (``asyncio.PriorityQueue`` would otherwise
+    compare the items themselves).
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue(maxsize)
+        self._seq = itertools.count()
+
+    def offer(self, item: Any, priority: int) -> bool:
+        """Admit ``item`` or return ``False`` immediately (load shedding)."""
+        try:
+            self._queue.put_nowait((priority, next(self._seq), item))
+        except asyncio.QueueFull:
+            return False
+        return True
+
+    async def take(self) -> Any:
+        """Next item, cheapest priority class first, FIFO within a class."""
+        _, _, item = await self._queue.get()
+        return item
+
+    def task_done(self) -> None:
+        self._queue.task_done()
+
+    async def join(self) -> None:
+        await self._queue.join()
+
+    @property
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+
+class LatencyHistogram:
+    """Log₂-bucketed latency histogram (milliseconds).
+
+    Buckets: <1ms, <2ms, <4ms, ... <2¹⁴ms (~16s), plus an overflow bucket.
+    Thread-safe — request completions land from the event loop, snapshots
+    from wherever ``/stats`` is being rendered.
+    """
+
+    BUCKETS = 15  # 2^0 .. 2^14 ms, then +inf
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (self.BUCKETS + 1)
+        self._total_ms = 0.0
+        self._observations = 0
+
+    def observe(self, seconds: float) -> None:
+        ms = max(0.0, seconds * 1000.0)
+        bucket = 0
+        bound = 1.0
+        while ms >= bound and bucket < self.BUCKETS:
+            bucket += 1
+            bound *= 2.0
+        with self._lock:
+            self._counts[bucket] += 1
+            self._total_ms += ms
+            self._observations += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            total_ms = self._total_ms
+            observations = self._observations
+        buckets = {}
+        bound = 1
+        for count in counts[: self.BUCKETS]:
+            buckets[f"<{bound}ms"] = count
+            bound *= 2
+        buckets["+inf"] = counts[self.BUCKETS]
+        return {
+            "count": observations,
+            "mean_ms": (total_ms / observations) if observations else 0.0,
+            "buckets": buckets,
+        }
+
+
+class ServiceStats:
+    """Per-kind request accounting plus service-level gauges."""
+
+    #: Outcome counters tracked per request kind.
+    OUTCOMES = (
+        "received",
+        "completed",
+        "errors",
+        "shed",
+        "timeouts",
+        "memory_hits",
+        "store_hits",
+        "computed",
+        "deduplicated",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, Dict[str, int]] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self.started_at: Optional[float] = None
+
+    def count(self, kind: str, outcome: str, n: int = 1) -> None:
+        assert outcome in self.OUTCOMES, outcome
+        with self._lock:
+            per_kind = self._counts.setdefault(kind, dict.fromkeys(self.OUTCOMES, 0))
+            per_kind[outcome] += n
+
+    def observe_latency(self, kind: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(kind)
+            if histogram is None:
+                histogram = self._histograms[kind] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def totals(self) -> Dict[str, int]:
+        with self._lock:
+            totals = dict.fromkeys(self.OUTCOMES, 0)
+            for per_kind in self._counts.values():
+                for outcome, value in per_kind.items():
+                    totals[outcome] += value
+            return totals
+
+    def hit_rate(self) -> float:
+        """Fraction of completed requests served from memory or store."""
+        totals = self.totals()
+        completed = totals["completed"]
+        if not completed:
+            return 0.0
+        return (totals["memory_hits"] + totals["store_hits"]) / completed
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = {kind: dict(per_kind) for kind, per_kind in sorted(self._counts.items())}
+            histograms = dict(self._histograms)
+        return {
+            "requests": counts,
+            "totals": self.totals(),
+            "hit_rate": self.hit_rate(),
+            "latency_ms": {kind: h.to_dict() for kind, h in sorted(histograms.items())},
+        }
+
+
+def classify_priority(expensive: bool, cached: bool) -> Tuple[int, str]:
+    """Priority class for a request: cached or cheap work jumps the queue."""
+    if cached or not expensive:
+        return PRIORITY_CHEAP, "cheap"
+    return PRIORITY_EXPENSIVE, "expensive"

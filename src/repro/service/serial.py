@@ -1,0 +1,162 @@
+"""JSON-safe encoding of the values the service computes and stores.
+
+The persistent result store (:mod:`repro.service.store`) and the HTTP wire
+format both carry plain JSON, but the pipeline's values are richer: NumPy
+arrays (simulated grids), ``repro`` dataclasses
+(:class:`~repro.perfmodel.costmodel.PerformanceEstimate`,
+:class:`~repro.simd.machine.InstructionCounts`, ...), tuples and nested
+containers.  :func:`encode` maps any such value onto a JSON-ready structure
+with tagged escapes, and :func:`decode` inverts it **bit-identically** for
+floats and arrays — which is what makes "the same request returns the same
+bytes, whether computed or replayed from the store" testable.
+
+Two array transports exist:
+
+* inline — the array's raw bytes, base64, inside the JSON (the wire format);
+* sidecar — the array lands in a ``.npz`` next to the JSON blob and the JSON
+  holds only a reference (the store format for large grids, so the hot path
+  never base64s megabytes).
+
+Dataclasses are encoded by qualified name and re-instantiated on decode;
+only classes from ``repro.*`` modules are honoured, so a store blob cannot
+instruct the decoder to build arbitrary objects.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import enum
+import importlib
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["encode", "decode", "UnserialisableValue"]
+
+#: Arrays at or above this many bytes go to the ``.npz`` sidecar when one is
+#: offered; smaller ones are inlined (a sidecar round-trip costs a file).
+SIDECAR_THRESHOLD_BYTES = 2048
+
+#: Escape tag — a plain dict that happens to carry this key is itself
+#: escaped, so user payloads cannot collide with the tagged forms.
+TAG = "__repro__"
+
+
+class UnserialisableValue(TypeError):
+    """Raised when a value has no JSON-safe encoding (e.g. an open handle)."""
+
+
+def encode(value: Any, arrays: Optional[List[np.ndarray]] = None) -> Any:
+    """Return a JSON-ready structure identifying ``value``.
+
+    ``arrays`` — when given, large ndarrays are appended to it and encoded
+    as sidecar references ``{"__repro__": "npz", "index": i}``; the caller
+    owns writing them (``np.savez`` with keys ``arr_<i>``).  Without it,
+    every array is inlined as base64.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.generic):
+        return {TAG: "npscalar", "dtype": value.dtype.str, "value": value.item()}
+    if isinstance(value, np.ndarray):
+        contiguous = np.ascontiguousarray(value)
+        if arrays is not None and contiguous.nbytes >= SIDECAR_THRESHOLD_BYTES:
+            arrays.append(contiguous)
+            return {TAG: "npz", "index": len(arrays) - 1}
+        return {
+            TAG: "ndarray",
+            "dtype": contiguous.dtype.str,
+            "shape": list(contiguous.shape),
+            "b64": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+        }
+    if isinstance(value, enum.Enum):
+        cls = type(value)
+        if not cls.__module__.startswith("repro."):
+            raise UnserialisableValue(f"refusing to serialise non-repro enum {cls.__qualname__!r}")
+        return {
+            TAG: "enum",
+            "class": f"{cls.__module__}:{cls.__qualname__}",
+            "name": value.name,
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        if not cls.__module__.startswith("repro."):
+            raise UnserialisableValue(
+                f"refusing to serialise non-repro dataclass {cls.__qualname__!r}"
+            )
+        return {
+            TAG: "dataclass",
+            "class": f"{cls.__module__}:{cls.__qualname__}",
+            "fields": {
+                f.name: encode(getattr(value, f.name), arrays)
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, tuple):
+        return {TAG: "tuple", "items": [encode(v, arrays) for v in value]}
+    if isinstance(value, list):
+        return [encode(v, arrays) for v in value]
+    if isinstance(value, dict):
+        out: Dict[str, Any] = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                return {
+                    TAG: "dict",
+                    "items": [[encode(k, arrays), encode(v, arrays)] for k, v in value.items()],
+                }
+            out[k] = encode(v, arrays)
+        if TAG in out:
+            return {TAG: "escaped", "value": out}
+        return out
+    raise UnserialisableValue(f"no JSON encoding for {type(value).__qualname__}")
+
+
+def decode(payload: Any, arrays: Optional[Dict[str, np.ndarray]] = None) -> Any:
+    """Invert :func:`encode`.
+
+    ``arrays`` maps sidecar keys (``arr_<i>``) to loaded ndarrays; required
+    only for payloads encoded with a sidecar.
+    """
+    if isinstance(payload, list):
+        return [decode(v, arrays) for v in payload]
+    if not isinstance(payload, dict):
+        return payload
+    tag = payload.get(TAG)
+    if tag is None:
+        return {k: decode(v, arrays) for k, v in payload.items()}
+    if tag == "escaped":
+        return {k: decode(v, arrays) for k, v in payload["value"].items()}
+    if tag == "tuple":
+        return tuple(decode(v, arrays) for v in payload["items"])
+    if tag == "dict":
+        return {decode(k, arrays): decode(v, arrays) for k, v in payload["items"]}
+    if tag == "npscalar":
+        return np.dtype(payload["dtype"]).type(payload["value"])
+    if tag == "ndarray":
+        raw = base64.b64decode(payload["b64"])
+        return np.frombuffer(raw, dtype=np.dtype(payload["dtype"])).reshape(payload["shape"]).copy()
+    if tag == "npz":
+        if arrays is None:
+            raise UnserialisableValue("payload references a sidecar but none was loaded")
+        return arrays[f"arr_{payload['index']}"]
+    if tag == "enum":
+        return _resolve_repro_class(payload["class"])[payload["name"]]
+    if tag == "dataclass":
+        cls = _resolve_repro_class(payload["class"])
+        fields = {k: decode(v, arrays) for k, v in payload["fields"].items()}
+        return cls(**fields)
+    raise UnserialisableValue(f"unknown serialisation tag {tag!r}")
+
+
+def _resolve_repro_class(spec: str) -> Any:
+    """``"module:QualName"`` → the class, restricted to ``repro.*`` modules."""
+    module_name, _, qualname = spec.partition(":")
+    if not module_name.startswith("repro."):
+        raise UnserialisableValue(f"refusing to decode class from {module_name!r}")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj

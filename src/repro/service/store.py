@@ -1,0 +1,270 @@
+"""Persistent, versioned, size-capped result store.
+
+The durable half of the service's cache hierarchy: an on-disk table of
+computed results keyed by ``(kind, config_hash)``, layered under the
+in-memory :class:`~repro.study.cache.EvalCache` so identical requests are
+hits across process restarts.  Design points:
+
+* **Schema versioning** — entries live under ``<root>/v<STORE_VERSION>/``;
+  bumping :data:`STORE_VERSION` (required whenever the hash canonicalisation
+  or the value encoding changes) silently orphans the old tree instead of
+  serving stale bytes.
+* **Atomic writes** — every blob is written to a temporary file in the same
+  directory and ``os.replace``d into place, so a crashed or concurrent
+  writer can never leave a half-written entry observable; unreadable or
+  truncated blobs degrade to cold misses, never errors.
+* **JSON + NPZ blobs** — each entry is ``<kind>-<key>.json`` (the encoded
+  value, :mod:`repro.service.serial`) plus an optional ``.npz`` sidecar
+  holding large arrays (simulated grids) in binary.
+* **LRU size cap** — reads refresh an entry's mtime; when the tree exceeds
+  ``max_bytes`` after a write, least-recently-used entries are evicted until
+  it fits (the entry just written is exempt).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.service.serial import UnserialisableValue, decode, encode
+
+__all__ = ["STORE_VERSION", "StoreStats", "ResultStore"]
+
+#: Schema version of the on-disk tree.  Covers the value encoding
+#: (:mod:`repro.service.serial`) *and* the key canonicalisation
+#: (:mod:`repro.study.hashing` — see ``tests/test_hashing_golden.py``):
+#: changing either invalidates every stored key, so bump this.
+STORE_VERSION = 1
+
+#: Default size cap: 256 MiB — generous for result blobs, small enough that
+#: an unattended service cannot eat a disk.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Accounting snapshot of a :class:`ResultStore`."""
+
+    hits: int
+    misses: int
+    puts: int
+    evictions: int
+    entries: int
+    bytes: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "bytes": self.bytes,
+        }
+
+
+class ResultStore:
+    """On-disk result table under ``root`` (created on first use).
+
+    Safe for concurrent readers/writers across threads and processes: blobs
+    are immutable once placed, placement is atomic, and eviction tolerates
+    files disappearing underneath it.
+    """
+
+    def __init__(self, root: os.PathLike | str, max_bytes: int = DEFAULT_MAX_BYTES):
+        self.root = Path(root)
+        self.dir = self.root / f"v{STORE_VERSION}"
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _stem(kind: str, key_hash: str) -> str:
+        safe_kind = "".join(c if c.isalnum() or c in "-_" else "_" for c in kind)
+        return f"{safe_kind}-{key_hash}"
+
+    def _json_path(self, kind: str, key_hash: str) -> Path:
+        return self.dir / f"{self._stem(kind, key_hash)}.json"
+
+    def _npz_path(self, kind: str, key_hash: str) -> Path:
+        return self.dir / f"{self._stem(kind, key_hash)}.npz"
+
+    # ------------------------------------------------------------------ #
+    # load / save
+    # ------------------------------------------------------------------ #
+    def load(self, kind: str, key_hash: str) -> Tuple[bool, Any]:
+        """``(True, value)`` when the entry exists and decodes; else miss."""
+        path = self._json_path(kind, key_hash)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != STORE_VERSION:
+                raise ValueError("schema mismatch")
+            arrays: Optional[Dict[str, np.ndarray]] = None
+            if payload.get("sidecar"):
+                with np.load(self._npz_path(kind, key_hash)) as npz:
+                    arrays = {name: npz[name] for name in npz.files}
+            value = decode(payload["value"], arrays)
+        except (OSError, ValueError, KeyError, UnserialisableValue):
+            with self._lock:
+                self._misses += 1
+            return False, None
+        self._touch(kind, key_hash)
+        with self._lock:
+            self._hits += 1
+        return True, value
+
+    def save(self, kind: str, key_hash: str, value: Any) -> bool:
+        """Serialise and atomically place ``value``; ``False`` if it cannot
+        be encoded (the caller keeps it memory-only)."""
+        arrays: List[np.ndarray] = []
+        try:
+            encoded = encode(value, arrays)
+        except UnserialisableValue:
+            return False
+        self.dir.mkdir(parents=True, exist_ok=True)
+        if arrays:
+            self._atomic_write_npz(
+                self._npz_path(kind, key_hash),
+                {f"arr_{i}": a for i, a in enumerate(arrays)},
+            )
+        payload = {
+            "schema": STORE_VERSION,
+            "kind": kind,
+            "key": key_hash,
+            "sidecar": bool(arrays),
+            "value": encoded,
+        }
+        self._atomic_write_text(
+            self._json_path(kind, key_hash),
+            json.dumps(payload, sort_keys=True, separators=(",", ":")),
+        )
+        with self._lock:
+            self._puts += 1
+        self._enforce_cap(keep=self._stem(kind, key_hash))
+        return True
+
+    def contains(self, kind: str, key_hash: str) -> bool:
+        """Whether an entry exists on disk (no decode, no accounting)."""
+        return self._json_path(kind, key_hash).exists()
+
+    # ------------------------------------------------------------------ #
+    # write helpers
+    # ------------------------------------------------------------------ #
+    def _atomic_write_text(self, path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _atomic_write_npz(self, path: Path, arrays: Dict[str, np.ndarray]) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _touch(self, kind: str, key_hash: str) -> None:
+        """Refresh the entry's recency (best effort)."""
+        now = None  # os.utime(None) = current time
+        for path in (self._json_path(kind, key_hash), self._npz_path(kind, key_hash)):
+            try:
+                os.utime(path, now)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # LRU eviction
+    # ------------------------------------------------------------------ #
+    def _entries(self) -> List[Tuple[float, str, int]]:
+        """(oldest mtime, stem, total bytes) per entry, least recent first."""
+        grouped: Dict[str, List[Path]] = {}
+        try:
+            listing = list(self.dir.iterdir())
+        except OSError:
+            return []
+        for path in listing:
+            if path.suffix in (".json", ".npz"):
+                grouped.setdefault(path.stem, []).append(path)
+        rows = []
+        for stem, paths in grouped.items():
+            try:
+                stats = [p.stat() for p in paths]
+            except OSError:
+                continue  # evicted by a concurrent writer mid-scan
+            rows.append((min(s.st_mtime for s in stats), stem, sum(s.st_size for s in stats)))
+        rows.sort()
+        return rows
+
+    def _enforce_cap(self, keep: str) -> None:
+        rows = self._entries()
+        total = sum(size for _, _, size in rows)
+        for _, stem, size in rows:
+            if total <= self.max_bytes:
+                break
+            if stem == keep:
+                continue
+            for suffix in (".json", ".npz"):
+                try:
+                    os.unlink(self.dir / f"{stem}{suffix}")
+                except OSError:
+                    pass
+            total -= size
+            with self._lock:
+                self._evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> StoreStats:
+        rows = self._entries()
+        with self._lock:
+            return StoreStats(
+                hits=self._hits,
+                misses=self._misses,
+                puts=self._puts,
+                evictions=self._evictions,
+                entries=len(rows),
+                bytes=sum(size for _, _, size in rows),
+            )
+
+    def clear(self) -> None:
+        """Delete every entry of the current schema version."""
+        for _, stem, _ in self._entries():
+            for suffix in (".json", ".npz"):
+                try:
+                    os.unlink(self.dir / f"{stem}{suffix}")
+                except OSError:
+                    pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats
+        return f"ResultStore({str(self.dir)!r}, entries={s.entries}, bytes={s.bytes})"

@@ -1,0 +1,338 @@
+"""Process-pool worker tier: runs cold jobs off the event loop.
+
+The front end (:mod:`repro.service.server`) never computes: every cold
+request becomes a picklable payload executed by :func:`execute_payload` in a
+worker process (or inline on a thread for ``workers=0`` deployments and
+tests).  Workers are long-lived and keep a process-local
+:class:`~repro.study.cache.EvalCache`, so the expensive pipeline stages
+(profiles, estimates) amortise across the jobs a worker sees — the study
+sharding below leans on exactly that.
+
+Fault handling: a worker process dying mid-job breaks the whole
+``ProcessPoolExecutor`` (CPython semantics), so :meth:`WorkerPool.submit`
+detects the broken pool, rebuilds it, and retries the job **once**; a second
+failure surfaces as a structured ``worker-crash`` error rather than an
+exception, keeping one poisoned request from wedging the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.service.protocol import ServiceError
+from repro.study.cache import EvalCache
+
+__all__ = ["execute_payload", "WorkerPool"]
+
+#: Process-local memo shared by every job one worker executes.
+_WORKER_CACHE = EvalCache()
+
+
+def worker_cache() -> EvalCache:
+    """The executing process's job-level :class:`EvalCache`."""
+    return _WORKER_CACHE
+
+
+# --------------------------------------------------------------------------- #
+# job execution (runs inside worker processes — top level, picklable)
+# --------------------------------------------------------------------------- #
+def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one canonical request payload and return its result.
+
+    Results are plain dicts of JSON-native values and NumPy arrays — both
+    picklable across the process boundary; the transport encodes arrays for
+    the wire and the store writes them to NPZ sidecars.
+
+    ``payload`` is :meth:`repro.service.protocol.Request.to_payload` output —
+    already validated, so failures here are execution errors (method/grid
+    mismatches, simulation constraints) and are raised as ``ValueError`` /
+    ``KeyError`` for the caller to wrap.
+    """
+    kind = payload["kind"]
+    handler = _HANDLERS[kind]
+    return handler(payload)
+
+
+def _compiled_plan(payload: Dict[str, Any]):
+    import repro
+
+    return (
+        repro.plan(payload["stencil"])
+        .method(payload["method"])
+        .isa(payload["isa"])
+        .unroll(payload["m"])
+        .compile()
+    )
+
+
+def _execute_plan(payload: Dict[str, Any]) -> Dict[str, Any]:
+    plan = _compiled_plan(payload)
+    result: Dict[str, Any] = {
+        "stencil": plan.spec.name,
+        "method": plan.method_key,
+        "label": plan.label,
+        "isa": plan.config.isa,
+        "unroll": plan.config.unroll,
+        "steps_per_update": plan.steps_per_update,
+        "linear": plan.spec.linear,
+        "dims": plan.spec.dims,
+        "explain": plan.explain(),
+    }
+    if plan.spec.linear:
+        report = plan.folding_report()
+        result["profitability"] = {
+            "collect_naive": report.collect_naive,
+            "collect_optimized": report.collect_optimized,
+            "profitability_optimized": report.profitability_optimized,
+        }
+    return result
+
+
+def _estimate_cell(
+    cache: EvalCache, stencil: str, method: str, isa: str, m: int,
+    shape: Sequence[int], time_steps: int, cores: int, shifts_reuse: bool = True,
+) -> Dict[str, Any]:
+    """One estimate row, routed through the worker's memo cache."""
+    from repro.machine import machine_for_isa
+    from repro.stencils.library import get_benchmark
+
+    spec = get_benchmark(stencil).spec
+    machine = machine_for_isa(isa)
+    profile = cache.profile(method, spec, isa=isa, m=m, shifts_reuse=shifts_reuse)
+    # Same path as CompiledPlan.estimate (multicore model even at one core),
+    # so service responses agree with the library API to the last bit.
+    estimate = cache.multicore(profile, tuple(shape), time_steps, machine, cores, spec.radius)
+    return {
+        "method": method,
+        "isa": isa,
+        "m": m,
+        "gflops": estimate.gflops,
+        "gflops_per_core": estimate.gflops_per_core,
+        "cycles_per_point": estimate.cycles_per_point,
+        "bound": estimate.bound,
+        "residency": estimate.residency,
+    }
+
+
+def _execute_estimate(payload: Dict[str, Any]) -> Dict[str, Any]:
+    return _estimate_cell(
+        _WORKER_CACHE,
+        payload["stencil"],
+        payload["method"],
+        payload["isa"],
+        payload["m"],
+        payload["shape"],
+        payload["time_steps"],
+        payload["cores"],
+        payload["shifts_reuse"],
+    )
+
+
+def _execute_simulate(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.stencils.grid import Grid
+
+    plan = _compiled_plan(payload)
+    grid = Grid.random(tuple(payload["shape"]), seed=payload["seed"])
+    values, counts = plan.simulate(grid, payload["steps"], optimize=payload["optimize"])
+    return {
+        "values": values,
+        "instructions": {
+            "total": counts.total,
+            # InstructionClass enum keys -> stable lowercase names on the wire.
+            "counts": {
+                k.name.lower(): v
+                for k, v in sorted(counts.counts.items(), key=lambda kv: kv[0].name)
+            },
+        },
+    }
+
+
+def _execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.stencils.library import get_benchmark
+
+    plan = _compiled_plan(payload)
+    grid = get_benchmark(payload["stencil"]).make_grid(
+        tuple(payload["shape"]), seed=payload["seed"]
+    )
+    values = plan.run(grid, payload["steps"])
+    return {"values": values}
+
+
+def _execute_study(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """A whole study in one worker (the server shards instead when it can)."""
+    from repro.service.protocol import expand_study_cells
+
+    rows = _execute_study_shard(dict(payload, cells=expand_study_cells(payload)))
+    return {"rows": rows["rows"], "cells": len(rows["rows"])}
+
+
+def _execute_study_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One contiguous chunk of a study's cells (an internal job kind)."""
+    rows = []
+    for cell in payload["cells"]:
+        row = _estimate_cell(
+            _WORKER_CACHE,
+            payload["stencil"],
+            cell["method"],
+            cell["isa"],
+            cell["m"],
+            payload["shape"],
+            payload["time_steps"],
+            payload["cores"],
+        )
+        rows.append({"index": cell["index"], **row})
+    return {"rows": rows}
+
+
+def _execute_sleep(payload: Dict[str, Any]) -> Dict[str, Any]:
+    time.sleep(payload["seconds"])
+    return {"slept": payload["seconds"], "token": payload.get("token", 0)}
+
+
+def _execute_crash(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Fault injection: die hard on the first attempt, succeed on the retry.
+
+    The marker file records that the first attempt happened; its absence
+    means "crash now".  ``os._exit`` bypasses every handler — exactly the
+    signature of a segfaulted or OOM-killed worker.
+    """
+    marker = payload["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("crashed-once\n")
+        os._exit(2)
+    return {"recovered": True}
+
+
+_HANDLERS = {
+    "plan": _execute_plan,
+    "estimate": _execute_estimate,
+    "simulate": _execute_simulate,
+    "run": _execute_run,
+    "study": _execute_study,
+    "study-shard": _execute_study_shard,
+    "_sleep": _execute_sleep,
+    "_crash": _execute_crash,
+}
+
+
+# --------------------------------------------------------------------------- #
+# the pool
+# --------------------------------------------------------------------------- #
+class WorkerPool:
+    """Job executor with crash recovery and an inline fallback.
+
+    ``workers >= 1`` runs jobs on a ``ProcessPoolExecutor`` (``fork`` where
+    available, so workers inherit the warm NumPy import); ``workers == 0``
+    runs them on a small thread pool in-process — no isolation, but no spawn
+    cost either, which is what unit tests and single-user deployments want.
+    """
+
+    def __init__(self, workers: int = 2):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = int(workers)
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._executor = self._make_executor()
+
+    def _make_executor(self):
+        if self.workers == 0:
+            return ThreadPoolExecutor(max_workers=4, thread_name_prefix="repro-service-inline")
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            context = multiprocessing.get_context()
+        return ProcessPoolExecutor(max_workers=self.workers, mp_context=context)
+
+    def _submit(self, payload: Dict[str, Any]) -> Future:
+        with self._lock:
+            return self._executor.submit(execute_payload, payload)
+
+    def _rebuild(self, broken_generation: int) -> None:
+        """Replace a broken executor exactly once per breakage."""
+        with self._lock:
+            if self._generation != broken_generation:
+                return  # another job's retry already rebuilt it
+            try:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._executor = self._make_executor()
+            self._generation += 1
+
+    async def run(self, payload: Dict[str, Any], retries: int = 1) -> Dict[str, Any]:
+        """Execute ``payload`` on the pool, retrying once across a crash.
+
+        Raises :class:`ServiceError` (``worker-crash``) when the job kills
+        its worker more times than ``retries`` allows; other exceptions
+        propagate unchanged (they are execution errors, not infrastructure).
+        """
+        attempt = 0
+        while True:
+            with self._lock:
+                generation = self._generation
+            try:
+                return await asyncio.wrap_future(self._submit(payload))
+            except (BrokenExecutor, EOFError, OSError) as exc:
+                self._rebuild(generation)
+                attempt += 1
+                if attempt > retries:
+                    raise ServiceError(
+                        "worker-crash",
+                        f"worker died executing {payload.get('kind')!r} "
+                        f"({attempt} attempt(s)): {exc!r}",
+                        status=500,
+                    ) from exc
+
+    def run_sync(self, payload: Dict[str, Any], retries: int = 1) -> Dict[str, Any]:
+        """Blocking form of :meth:`run` for non-async callers (tests, tools)."""
+        attempt = 0
+        while True:
+            with self._lock:
+                generation = self._generation
+            try:
+                return self._submit(payload).result()
+            except (BrokenExecutor, EOFError, OSError) as exc:
+                self._rebuild(generation)
+                attempt += 1
+                if attempt > retries:
+                    raise ServiceError(
+                        "worker-crash",
+                        f"worker died executing {payload.get('kind')!r} "
+                        f"({attempt} attempt(s)): {exc!r}",
+                        status=500,
+                    ) from exc
+
+    async def run_study(
+        self, payload: Dict[str, Any], cells: Sequence[Dict[str, Any]], shards: int
+    ) -> Dict[str, Any]:
+        """Shard a study's cells across the pool and merge rows in order."""
+        from repro.service.protocol import shard_cells
+
+        chunks = shard_cells(cells, shards)
+        if len(chunks) <= 1:
+            return await self.run(dict(payload, kind="study"))
+        jobs = [self.run(dict(payload, kind="study-shard", cells=chunk)) for chunk in chunks]
+        merged: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+        for shard_result in await asyncio.gather(*jobs):
+            for row in shard_result["rows"]:
+                merged[row["index"]] = row
+        rows = [row for row in merged if row is not None]
+        # Same shape as the unsharded path: the response must not depend on
+        # how many workers happened to split the study.
+        return {"rows": rows, "cells": len(rows)}
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._executor.shutdown(wait=wait, cancel_futures=not wait)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "inline" if self.workers == 0 else f"{self.workers} processes"
+        return f"WorkerPool({mode})"

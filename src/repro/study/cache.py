@@ -23,10 +23,10 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.machine import MachineSpec
-from repro.study.hashing import freeze
+from repro.study.hashing import config_hash, freeze
 
 __all__ = ["CacheStats", "EvalCache"]
 
@@ -36,17 +36,37 @@ class CacheStats:
     """Snapshot of an :class:`EvalCache`'s accounting.
 
     ``hits + misses`` equals the number of memoized calls served; ``entries``
-    is the number of distinct keys currently held.
+    is the number of distinct keys currently held; ``store_hits`` counts the
+    misses that were satisfied by the persistent store backing the cache
+    (a subset of ``misses`` — the in-memory table still missed).
     """
 
     hits: int
     misses: int
     entries: int
+    store_hits: int = 0
 
     @property
     def calls(self) -> int:
         """Total memoized calls served (hits + misses)."""
         return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of calls served from memory (0.0 when nothing was served)."""
+        calls = self.calls
+        return self.hits / calls if calls else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready accounting — the one shape the runner CLI and the
+        service ``/stats`` endpoint both report."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "store_hits": self.store_hits,
+            "hit_rate": self.hit_rate,
+        }
 
 
 class _Cell:
@@ -69,11 +89,23 @@ class EvalCache:
     profiles between unrelated sweeps.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[Any] = None) -> None:
+        """``store`` optionally layers a persistent table under the memory one.
+
+        Any object with ``load(kind, key_hash) -> (found, value)`` and
+        ``save(kind, key_hash, value) -> bool`` works (the service's
+        :class:`repro.service.store.ResultStore` is the canonical one): a
+        memory miss consults the store before computing, and freshly computed
+        values are written through best-effort, so identical keys are hits
+        across process restarts.
+        """
         self._lock = threading.Lock()
         self._cells: Dict[Hashable, _Cell] = {}
         self._hits = 0
         self._misses = 0
+        self._store_hits = 0
+        self._by_kind: Dict[str, List[int]] = {}
+        self._store = store
 
     # ------------------------------------------------------------------ #
     # core memoization
@@ -98,11 +130,22 @@ class EvalCache:
                 cell = _Cell()
                 self._cells[key] = cell
                 self._misses += 1
+                self._kind_counts(kind)[1] += 1
                 owner = True
             else:
                 self._hits += 1
+                self._kind_counts(kind)[0] += 1
                 owner = False
         if owner:
+            if self._store is not None:
+                found, value = self._store_load(kind, key_parts)
+                if found:
+                    cell.value = value
+                    cell.ready.set()
+                    with self._lock:
+                        self._store_hits += 1
+                        self._kind_counts(kind)[2] += 1
+                    return value
             try:
                 cell.value = compute()
             except BaseException as exc:
@@ -115,6 +158,8 @@ class EvalCache:
                 raise
             finally:
                 cell.ready.set()
+            if self._store is not None:
+                self._store_save(kind, key_parts, cell.value)
             return cell.value
         cell.ready.wait()
         if cell.error is not None:
@@ -122,6 +167,83 @@ class EvalCache:
                 f"memoized {kind!r} computation failed in another thread: {cell.error!r}"
             ) from cell.error
         return cell.value
+
+    def _kind_counts(self, kind: str) -> List[int]:
+        """[hits, misses, store_hits] counters of ``kind`` (lock held)."""
+        counts = self._by_kind.get(kind)
+        if counts is None:
+            counts = self._by_kind[kind] = [0, 0, 0]
+        return counts
+
+    def _store_load(self, kind: str, key_parts: Any) -> Tuple[bool, Any]:
+        """Best-effort persistent lookup; unreadable entries are cold misses."""
+        try:
+            return self._store.load(kind, config_hash(kind, key_parts))
+        except Exception:
+            return False, None
+
+    def _store_save(self, kind: str, key_parts: Any, value: Any) -> bool:
+        """Best-effort write-through; unserialisable values simply stay
+        memory-only (the store, not the cache, owns what it can persist)."""
+        try:
+            return bool(self._store.save(kind, config_hash(kind, key_parts), value))
+        except Exception:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # non-blocking access (the async service front end cannot sit on the
+    # single-flight Event, so it peeks, runs its own async dedup, and puts)
+    # ------------------------------------------------------------------ #
+    def peek(self, kind: str, key_parts: Any) -> Tuple[bool, Any]:
+        """``(True, value)`` when ``(kind, key_parts)`` is ready in memory.
+
+        Never blocks and never counts as a hit or miss on its own: an
+        in-flight or failed cell reads as absent.  Pair with :meth:`put` for
+        callers that dedupe concurrent computations themselves.
+        """
+        key = (kind, freeze(key_parts))
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None or not cell.ready.is_set() or cell.error is not None:
+                return False, None
+            self._hits += 1
+            self._kind_counts(kind)[0] += 1
+            return True, cell.value
+
+    def put(self, kind: str, key_parts: Any, value: Any, persist: bool = True) -> None:
+        """Insert a ready value, counting one miss (the computation happened).
+
+        ``persist`` additionally writes the value through to the backing
+        store (when one is attached), making it a hit across restarts.
+        An existing ready cell for the key is left untouched.
+        """
+        key = (kind, freeze(key_parts))
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is not None and cell.ready.is_set() and cell.error is None:
+                return
+            fresh = _Cell()
+            fresh.value = value
+            fresh.ready.set()
+            self._cells[key] = fresh
+            self._misses += 1
+            self._kind_counts(kind)[1] += 1
+        if persist and self._store is not None:
+            self._store_save(kind, key_parts, value)
+
+    def load_persistent(self, kind: str, key_parts: Any) -> Tuple[bool, Any]:
+        """Look up the backing store directly (no memory-table promotion).
+
+        Counts as a store hit when found; ``(False, None)`` without a store.
+        """
+        if self._store is None:
+            return False, None
+        found, value = self._store_load(kind, key_parts)
+        if found:
+            with self._lock:
+                self._store_hits += 1
+                self._kind_counts(kind)[2] += 1
+        return found, value
 
     # ------------------------------------------------------------------ #
     # pipeline stages
@@ -212,7 +334,25 @@ class EvalCache:
     def stats(self) -> CacheStats:
         """Current hit/miss/entry counts (atomic snapshot)."""
         with self._lock:
-            return CacheStats(hits=self._hits, misses=self._misses, entries=len(self._cells))
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._cells),
+                store_hits=self._store_hits,
+            )
+
+    def stats_by_kind(self) -> Dict[str, CacheStats]:
+        """Per-kind accounting (``entries`` is not tracked per kind: 0).
+
+        The runner CLI's ``--json`` output and the service's ``/stats``
+        endpoint both report this mapping, so the two surfaces agree on what
+        "hit rate per kind" means.
+        """
+        with self._lock:
+            return {
+                kind: CacheStats(hits=h, misses=m, entries=0, store_hits=s)
+                for kind, (h, m, s) in sorted(self._by_kind.items())
+            }
 
     def clear(self) -> None:
         """Drop every entry and reset the accounting."""
@@ -220,6 +360,8 @@ class EvalCache:
             self._cells.clear()
             self._hits = 0
             self._misses = 0
+            self._store_hits = 0
+            self._by_kind.clear()
 
     def __len__(self) -> int:
         with self._lock:

@@ -55,12 +55,17 @@ def freeze(value: Any) -> Hashable:
     if isinstance(value, np.generic):
         return ("npscalar", value.dtype.str, value.item())
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = tuple(
-            (f.name, freeze(getattr(value, f.name))) for f in dataclasses.fields(value)
-        )
+        fields = tuple((f.name, freeze(getattr(value, f.name))) for f in dataclasses.fields(value))
         return ("dataclass", type(value).__name__, fields)
     if isinstance(value, dict):
-        return ("dict", tuple((freeze(k), freeze(v)) for k, v in value.items()))
+        # Sort by the frozen key's repr: two dicts that compare equal freeze
+        # identically regardless of insertion order, which is what makes the
+        # hash usable as a cross-process request/store key (JSON parsers and
+        # callers do not agree on key order).
+        items = tuple(
+            sorted(((freeze(k), freeze(v)) for k, v in value.items()), key=lambda kv: repr(kv[0]))
+        )
+        return ("dict", items)
     if isinstance(value, (list, tuple)):
         return ("seq", tuple(freeze(v) for v in value))
     if isinstance(value, (set, frozenset)):

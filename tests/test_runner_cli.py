@@ -71,18 +71,36 @@ class TestCli:
     def test_json_output(self, capsys):
         assert main(["table2", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert [entry["name"] for entry in payload] == ["table2"]
-        assert payload[0]["rows"][-1]["level"] == "Mean"
+        experiments = payload["experiments"]
+        assert [entry["name"] for entry in experiments] == ["table2"]
+        assert experiments[0]["rows"][-1]["level"] == "Mean"
+
+    def test_json_output_reports_cache_stats(self, capsys):
+        # table2 replays figure8's cells, so the shared cache must show both
+        # traffic and per-kind accounting — the same surface as the service's
+        # /stats endpoint.
+        assert main(["figure8", "table2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cache = payload["cache"]
+        overall = cache["overall"]
+        assert overall["misses"] > 0
+        assert overall["hits"] > 0
+        assert overall["hit_rate"] == pytest.approx(
+            overall["hits"] / (overall["hits"] + overall["misses"])
+        )
+        assert "profile" in cache["by_kind"]
+        total_by_kind = sum(s["misses"] for s in cache["by_kind"].values())
+        assert total_by_kind == overall["misses"]
 
     def test_sweep_flags_reach_the_experiments(self, capsys):
         assert main(["figure8", "--isa", "avx512", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert "isa=avx512" in payload[0]["notes"]
+        assert "isa=avx512" in payload["experiments"][0]["notes"]
 
     def test_benchmarks_flag(self, capsys):
         assert main(["figure10", "--benchmarks", "1d-heat,2d9p", "--json", "--workers", "4"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        keys = {row["key"] for row in payload[0]["rows"]}
+        keys = {row["key"] for row in payload["experiments"][0]["rows"]}
         assert keys == {"1d-heat", "2d9p"}
 
     def test_unknown_experiment_exits_nonzero(self, capsys):

@@ -1,0 +1,147 @@
+"""Request validation, canonical keys, and study expansion/sharding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.protocol import (
+    KINDS,
+    ServiceError,
+    expand_study_cells,
+    normalize,
+    shard_cells,
+)
+
+
+def _err(payload, allow_internal=False):
+    with pytest.raises(ServiceError) as info:
+        normalize(payload, allow_internal=allow_internal)
+    assert info.value.code == "invalid-request"
+    assert info.value.status == 400
+    return str(info.value)
+
+
+class TestValidation:
+    def test_non_object_bodies(self):
+        for bad in (None, [], "estimate", 7):
+            _err(bad)
+
+    def test_unknown_kind_lists_known(self):
+        message = _err({"kind": "frobnicate"})
+        for kind in KINDS:
+            assert kind in message
+
+    def test_internal_kinds_gated(self):
+        _err({"kind": "_sleep", "seconds": 0.01})
+        request = normalize({"kind": "_sleep", "seconds": 0.01}, allow_internal=True)
+        assert request.kind == "_sleep" and request.expensive
+
+    def test_unknown_stencil_names_candidates(self):
+        assert "1d-heat" in _err({"kind": "plan", "stencil": "nope"})
+
+    def test_unknown_method(self):
+        _err({"kind": "plan", "stencil": "1d-heat", "method": "nope"})
+
+    def test_bad_shapes(self):
+        base = {"kind": "simulate", "stencil": "1d-heat", "steps": 1}
+        _err({**base, "shape": []})
+        _err({**base, "shape": [1, 2, 3, 4]})
+        _err({**base, "shape": [0]})
+        _err({**base, "shape": [True, 4]})
+        _err({**base, "shape": [1 << 30]})  # over the point cap
+
+    def test_bad_scalars(self):
+        _err({"kind": "estimate", "stencil": "1d-heat", "m": 0})
+        _err({"kind": "estimate", "stencil": "1d-heat", "m": 2.5})
+        _err({"kind": "estimate", "stencil": "1d-heat", "time_steps": 0})
+        _err({"kind": "estimate", "stencil": "1d-heat", "shifts_reuse": "yes"})
+        _err({"kind": "simulate", "stencil": "1d-heat", "shape": [32]})  # steps required
+
+    def test_study_axes_validated(self):
+        base = {"kind": "study", "stencil": "1d-heat"}
+        _err(base)  # axes required
+        _err({**base, "axes": {}})
+        _err({**base, "axes": {"cores": [1, 2]}})  # not a sweepable axis
+        _err({**base, "axes": {"m": []}})
+        _err({**base, "axes": {"method": ["nope"]}})
+        _err({**base, "axes": {"m": list(range(1, 5000))}})  # cell cap
+
+    def test_estimate_defaults_filled(self):
+        request = normalize({"kind": "estimate", "stencil": "1d-heat"})
+        assert request.params == {
+            "stencil": "1d-heat",
+            "method": "folded",
+            "isa": "avx2",
+            "m": 2,
+            "shape": [4096, 4096],
+            "time_steps": 1000,
+            "cores": 1,
+            "shifts_reuse": True,
+        }
+
+    def test_payload_round_trip_is_canonical(self):
+        request = normalize({"kind": "plan", "stencil": "1d-heat", "m": 4})
+        again = normalize(request.to_payload())
+        assert again == request
+
+
+class TestKeys:
+    def test_key_ignores_spelling(self):
+        a = normalize({"kind": "estimate", "stencil": "1d-heat", "m": 2})
+        b = normalize({"m": 2, "stencil": "1D-Heat", "kind": " Estimate "})
+        c = normalize({"kind": "estimate", "stencil": "1d-heat", "m": 2, "isa": "avx2"})
+        assert a.key == b.key == c.key
+
+    def test_key_ignores_unknown_fields(self):
+        a = normalize({"kind": "plan", "stencil": "1d-heat"})
+        b = normalize({"kind": "plan", "stencil": "1d-heat", "timeout": 5, "x": 1})
+        assert a.key == b.key
+
+    def test_key_differs_across_kinds_and_params(self):
+        base = {"stencil": "1d-heat", "m": 2}
+        keys = {
+            normalize({"kind": "plan", **base}).key,
+            normalize({"kind": "estimate", **base}).key,
+            normalize({"kind": "plan", "stencil": "1d-heat", "m": 4}).key,
+            normalize({"kind": "plan", "stencil": "2d-heat", "m": 2}).key,
+        }
+        assert len(keys) == 4
+
+    def test_study_axis_order_is_canonical(self):
+        a = normalize(
+            {"kind": "study", "stencil": "1d-heat", "axes": {"m": [1, 2], "method": ["folded"]}}
+        )
+        b = normalize(
+            {"kind": "study", "stencil": "1d-heat", "axes": {"method": ["folded"], "m": [1, 2]}}
+        )
+        assert a.key == b.key
+        assert list(a.params["axes"]) == ["method", "m"]
+
+
+class TestStudyExpansion:
+    def test_cross_product_order(self):
+        params = normalize(
+            {
+                "kind": "study",
+                "stencil": "1d-heat",
+                "axes": {"method": ["folded", "dlt"], "m": [1, 2]},
+            }
+        ).params
+        cells = expand_study_cells(params)
+        assert [(c["method"], c["m"]) for c in cells] == [
+            ("folded", 1),
+            ("folded", 2),
+            ("dlt", 1),
+            ("dlt", 2),
+        ]
+        assert [c["index"] for c in cells] == [0, 1, 2, 3]
+        assert all(c["isa"] == "avx2" for c in cells)  # un-swept axis default
+
+    def test_shard_cells_contiguous_and_complete(self):
+        cells = [{"index": i} for i in range(10)]
+        for shards in (1, 2, 3, 4, 10, 50):
+            chunks = shard_cells(cells, shards)
+            assert len(chunks) <= max(1, min(shards, 10))
+            flattened = [c for chunk in chunks for c in chunk]
+            assert flattened == cells  # order-preserving, nothing lost
+            assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1

@@ -1,0 +1,218 @@
+"""The persistent result store and its value codec.
+
+The store is the durability layer of the service's cache hierarchy, so the
+properties under test are the ones correctness rests on: bit-identical
+round-trips (floats, arrays, dataclasses), schema-version isolation,
+corruption degrading to a cold miss, and the LRU byte cap.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.service.serial import UnserialisableValue, decode, encode
+from repro.service.store import STORE_VERSION, ResultStore
+from repro.simd.isa import isa_for
+
+
+class TestSerialRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            0,
+            -17,
+            math.pi,
+            5e-324,  # smallest subnormal: json round-trips it exactly
+            "text",
+            [1, 2.5, "three"],
+            {"nested": {"a": [1, 2]}, "b": None},
+        ],
+    )
+    def test_json_natives(self, value):
+        assert decode(json.loads(json.dumps(encode(value)))) == value
+
+    def test_float_bits_survive(self):
+        for value in (0.1 + 0.2, 1 / 3, math.nextafter(1.0, 2.0)):
+            decoded = decode(json.loads(json.dumps(encode(value))))
+            assert math.isclose(decoded, value, rel_tol=0, abs_tol=0)
+
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(12, dtype=np.float64).reshape(3, 4),
+            np.array([1.5, -2.5], dtype=np.float32),
+            np.array([[1, 2], [3, 4]], dtype=np.int32),
+            np.zeros((0, 3)),
+        ],
+    )
+    def test_ndarray(self, array):
+        decoded = decode(json.loads(json.dumps(encode(array))))
+        assert decoded.dtype == array.dtype
+        assert decoded.shape == array.shape
+        assert np.array_equal(decoded, array)
+
+    def test_fortran_order_array_content_preserved(self):
+        array = np.asfortranarray(np.arange(6, dtype=np.float64).reshape(2, 3))
+        decoded = decode(encode(array))
+        assert np.array_equal(decoded, array)
+
+    def test_tuple_and_np_scalar(self):
+        value = {"t": (1, 2.5), "s": np.float64(0.125), "i": np.int64(7)}
+        decoded = decode(json.loads(json.dumps(encode(value))))
+        assert decoded["t"] == (1, 2.5)
+        # np.float64 subclasses float and is encoded natively — value-exact.
+        assert decoded["s"] == 0.125
+        assert decoded["i"] == 7 and isinstance(decoded["i"], np.int64)
+
+    def test_repro_dataclass(self):
+        spec = isa_for("avx2")
+        decoded = decode(json.loads(json.dumps(encode(spec))))
+        assert decoded == spec
+
+    def test_tag_collision_is_escaped(self):
+        tricky = {"__repro__": "ndarray", "data": "not really"}
+        assert decode(json.loads(json.dumps(encode(tricky)))) == tricky
+
+    def test_non_string_dict_keys(self):
+        value = {(1, 2): "a", 3: "b"}
+        assert decode(json.loads(json.dumps(encode(value)))) == value
+
+    def test_unserialisable_value_raises(self):
+        with pytest.raises(UnserialisableValue):
+            encode(object())
+
+    def test_foreign_dataclass_rejected(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Foreign:
+            x: int = 1
+
+        with pytest.raises(UnserialisableValue):
+            encode(Foreign())
+
+
+class TestResultStore:
+    def test_round_trip_and_accounting(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        value = {"gflops": 12.375, "rows": [{"m": 2, "x": 1 / 3}]}
+        assert store.save("estimate", "abc123", value)
+        found, loaded = store.load("estimate", "abc123")
+        assert found and loaded == value
+        found, _ = store.load("estimate", "missing")
+        assert not found
+        stats = store.stats
+        assert (stats.hits, stats.misses, stats.puts) == (1, 1, 1)
+        assert stats.entries == 1 and stats.bytes > 0
+
+    def test_bit_identical_replay(self, tmp_path):
+        """The stored value re-encodes to the same bytes as the original —
+        the property behind 'identical response after restart'."""
+        store = ResultStore(tmp_path / "store")
+        value = {
+            "values": np.linspace(0, 1, 97) * (1 / 3),
+            "instructions": {"total": 330, "counts": {"arith": 64}},
+        }
+        store.save("simulate", "k1", value)
+        _, loaded = store.load("simulate", "k1")
+        assert json.dumps(encode(value), sort_keys=True) == json.dumps(
+            encode(loaded), sort_keys=True
+        )
+
+    def test_large_arrays_go_to_npz_sidecar(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        big = np.arange(4096, dtype=np.float64)
+        store.save("simulate", "big1", {"values": big})
+        assert (store.dir / "simulate-big1.npz").exists()
+        json_bytes = (store.dir / "simulate-big1.json").stat().st_size
+        assert json_bytes < big.nbytes  # the array is not inline
+        found, loaded = store.load("simulate", "big1")
+        assert found and np.array_equal(loaded["values"], big)
+
+    def test_restart_sees_entries(self, tmp_path):
+        ResultStore(tmp_path / "store").save("plan", "k", {"label": "Our"})
+        reopened = ResultStore(tmp_path / "store")
+        found, value = reopened.load("plan", "k")
+        assert found and value == {"label": "Our"}
+        assert reopened.contains("plan", "k")
+        assert not reopened.contains("plan", "other")
+
+    def test_schema_version_isolation(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.save("plan", "k", {"v": 1})
+        # An entry claiming a different schema version must read as a miss.
+        path = store._json_path("plan", "k")
+        payload = json.loads(path.read_text())
+        payload["schema"] = STORE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        found, _ = store.load("plan", "k")
+        assert not found
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [b"", b"{truncated", b'{"schema": 1, "value"', b"\x00\x01binary"],
+    )
+    def test_corrupt_blob_degrades_to_miss(self, tmp_path, corruption):
+        store = ResultStore(tmp_path / "store")
+        store.save("plan", "k", {"v": 1})
+        store._json_path("plan", "k").write_bytes(corruption)
+        found, _ = store.load("plan", "k")
+        assert not found
+        # And the store still accepts a fresh write over the wreckage.
+        assert store.save("plan", "k", {"v": 2})
+        assert store.load("plan", "k") == (True, {"v": 2})
+
+    def test_missing_sidecar_degrades_to_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.save("simulate", "k", {"values": np.arange(4096, dtype=np.float64)})
+        store._npz_path("simulate", "k").unlink()
+        found, _ = store.load("simulate", "k")
+        assert not found
+
+    def test_lru_eviction_under_byte_cap(self, tmp_path):
+        store = ResultStore(tmp_path / "store", max_bytes=64 * 1024)
+        blob = np.arange(3000, dtype=np.float64)  # ~24 KiB per entry
+        for i in range(6):
+            store.save("simulate", f"k{i}", {"values": blob + i})
+        stats = store.stats
+        assert stats.evictions > 0
+        assert stats.bytes <= store.max_bytes
+        # The most recent write is always retained.
+        assert store.contains("simulate", "k5")
+        assert not store.contains("simulate", "k0")
+
+    def test_read_refreshes_recency(self, tmp_path):
+        import os
+        import time
+
+        store = ResultStore(tmp_path / "store", max_bytes=100 * 1024)
+        blob = np.arange(3000, dtype=np.float64)  # ~24 KiB per entry
+        store.save("simulate", "hot", {"values": blob})
+        store.save("simulate", "cold0", {"values": blob + 1})
+        store.save("simulate", "cold1", {"values": blob + 2})
+        # Age everything, with "hot" strictly the oldest: without the read
+        # below refreshing its recency, it would be the eviction victim.
+        now = time.time()
+        for stem, age in (("hot", 7200), ("cold0", 3600), ("cold1", 3600)):
+            for suffix in (".json", ".npz"):
+                os.utime(store.dir / f"simulate-{stem}{suffix}", (now - age, now - age))
+        store.load("simulate", "hot")
+        store.save("simulate", "fresh0", {"values": blob + 3})
+        store.save("simulate", "fresh1", {"values": blob + 4})
+        assert store.stats.evictions > 0
+        assert store.contains("simulate", "hot")
+        assert not store.contains("simulate", "cold0")
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.save("plan", "a", {"v": 1})
+        store.save("plan", "b", {"v": 2})
+        store.clear()
+        assert store.stats.entries == 0
+        assert not store.contains("plan", "a")

@@ -1,0 +1,148 @@
+"""The worker tier: job execution, study sharding, crash recovery."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro.service.protocol import ServiceError, expand_study_cells, normalize
+from repro.service.workers import WorkerPool, execute_payload
+
+
+def _payload(raw):
+    return normalize(raw, allow_internal=True).to_payload()
+
+
+class TestExecutePayload:
+    """Jobs executed in-process agree with the plan API they wrap."""
+
+    def test_plan(self):
+        result = execute_payload(_payload({"kind": "plan", "stencil": "1d-heat", "m": 4}))
+        plan = repro.plan("1d-heat").method("folded").isa("avx2").unroll(4).compile()
+        assert result["label"] == plan.label
+        assert result["steps_per_update"] == plan.steps_per_update
+        assert result["explain"] == plan.explain()
+        assert result["profitability"]["collect_optimized"] > 0
+
+    def test_estimate_matches_direct_api(self):
+        result = execute_payload(
+            _payload(
+                {
+                    "kind": "estimate",
+                    "stencil": "1d-heat",
+                    "m": 4,
+                    "shape": [1 << 16],
+                    "time_steps": 100,
+                }
+            )
+        )
+        plan = repro.plan("1d-heat").method("folded").unroll(4).compile()
+        estimate = plan.estimate([1 << 16], time_steps=100)
+        assert result["gflops"] == pytest.approx(estimate.gflops)
+        assert result["bound"] == estimate.bound
+
+    def test_simulate_matches_direct_api(self):
+        result = execute_payload(
+            _payload(
+                {
+                    "kind": "simulate",
+                    "stencil": "1d-heat",
+                    "m": 2,
+                    "shape": [64],
+                    "steps": 4,
+                    "seed": 7,
+                }
+            )
+        )
+        from repro.stencils.grid import Grid
+
+        plan = repro.plan("1d-heat").method("folded").unroll(2).compile()
+        values, counts = plan.simulate(Grid.random((64,), seed=7), 4)
+        assert np.array_equal(result["values"], values)
+        assert result["instructions"]["total"] == counts.total
+        assert all(isinstance(k, str) for k in result["instructions"]["counts"])
+
+    def test_study_rows_match_estimates(self):
+        payload = _payload(
+            {
+                "kind": "study",
+                "stencil": "1d-heat",
+                "axes": {"method": ["folded", "dlt"], "m": [1, 2]},
+            }
+        )
+        result = execute_payload(payload)
+        assert result["cells"] == 4
+        assert [row["index"] for row in result["rows"]] == [0, 1, 2, 3]
+        single = execute_payload(
+            _payload({"kind": "estimate", "stencil": "1d-heat", "method": "dlt", "m": 2})
+        )
+        by_config = {(r["method"], r["m"]): r for r in result["rows"]}
+        assert by_config[("dlt", 2)]["gflops"] == pytest.approx(single["gflops"])
+
+
+class TestWorkerPool:
+    def test_inline_and_process_results_agree(self):
+        payload = _payload({"kind": "estimate", "stencil": "2d-heat", "m": 4})
+        inline, procs = WorkerPool(0), WorkerPool(1)
+        try:
+            assert inline.run_sync(payload) == procs.run_sync(payload)
+        finally:
+            inline.shutdown()
+            procs.shutdown()
+
+    def test_sharded_study_equals_unsharded(self):
+        payload = _payload(
+            {
+                "kind": "study",
+                "stencil": "1d-heat",
+                "axes": {"method": ["folded", "multiple_loads", "dlt"], "m": [1, 2, 4]},
+            }
+        )
+        unsharded = execute_payload(payload)
+        pool = WorkerPool(2)
+        try:
+            cells = expand_study_cells(payload)
+            sharded = asyncio.run(pool.run_study(dict(payload), cells, shards=3))
+        finally:
+            pool.shutdown()
+        assert sharded == unsharded
+
+    def test_crash_is_retried_once_and_succeeds(self, tmp_path):
+        marker = tmp_path / "crash-marker"
+        pool = WorkerPool(1)
+        try:
+            result = pool.run_sync(_payload({"kind": "_crash", "marker": str(marker)}))
+            assert result == {"recovered": True}
+            assert marker.exists()
+            # The rebuilt pool keeps serving ordinary jobs.
+            after = pool.run_sync(_payload({"kind": "estimate", "stencil": "1d-heat"}))
+            assert after["gflops"] > 0
+        finally:
+            pool.shutdown()
+
+    def test_persistent_crash_surfaces_structured_error(self, tmp_path):
+        # A marker under a non-existent directory can never be written, so
+        # the job kills its worker on every attempt.
+        marker = tmp_path / "nowhere" / "deeper" / "marker"
+        pool = WorkerPool(1)
+        try:
+            with pytest.raises(ServiceError) as info:
+                pool.run_sync(_payload({"kind": "_crash", "marker": str(marker)}))
+        finally:
+            pool.shutdown()
+        assert info.value.code == "worker-crash"
+        assert info.value.status == 500
+
+    def test_execution_errors_are_not_retried_as_crashes(self):
+        pool = WorkerPool(1)
+        payload = _payload({"kind": "plan", "stencil": "1d-heat"})
+        payload["m"] = -3  # valid at the protocol layer? no — forge it past it
+        try:
+            with pytest.raises(Exception) as info:
+                pool.run_sync(payload)
+        finally:
+            pool.shutdown()
+        assert not isinstance(info.value, ServiceError)
