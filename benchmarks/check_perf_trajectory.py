@@ -28,6 +28,12 @@ must still exist, every case must show forward progress (finite positive
 ``requests_per_sec``) and the cache hierarchy must hold its hit rate
 (``hit_rate`` ≥ 0.75, the bar the 90/10 load mix is designed to clear).
 
+With ``--kernel BENCH_kernel.json --kernel-baseline <previous>`` the gate
+additionally checks the generated-megakernel artifact: every baseline case
+must still exist, the artifact must not be empty, and every case's
+kernel-over-interpret speedup must clear the floor (default 5×, matching
+``benchmarks/test_kernel_speed.py``'s asserted bar).
+
 Absolute seconds are *not* gated — CI machines vary — only the relative
 speedups, count reductions, hit rates and the case coverage, which is what
 "no perf regression in the trajectory" means for a simulated-machine
@@ -52,6 +58,10 @@ MIN_ABLATION_SPEEDUP = 0.75
 #: Minimum service cache hit rate for the 90/10 hot/cold mix, matching
 #: benchmarks/test_service_throughput.py's asserted floor.
 MIN_SERVICE_HIT_RATE = 0.75
+
+#: Minimum kernel-over-interpret speedup, matching
+#: benchmarks/test_kernel_speed.py's asserted floor.
+MIN_KERNEL_SPEEDUP = 5.0
 
 
 def load_cases(path: Path) -> dict:
@@ -119,6 +129,24 @@ def check_service(current: dict, baseline: dict, min_hit_rate: float) -> list:
     return problems
 
 
+def check_kernel(current: dict, baseline: dict, min_speedup: float) -> list:
+    """Gate violations for the kernel-speed artifact (empty = holds)."""
+    problems = []
+    for name in sorted(baseline):
+        if name not in current:
+            problems.append(f"kernel case {name!r} present in the baseline has disappeared")
+    if not current:
+        problems.append("kernel artifact has no cases at all")
+    for name, case in sorted(current.items()):
+        speedup = float(case.get("speedup", 0.0))
+        if speedup < min_speedup:
+            problems.append(
+                f"kernel case {name!r}: kernel speedup {speedup:.1f}x is below "
+                f"the {min_speedup:.0f}x floor"
+            )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="freshly generated BENCH_simulation.json")
@@ -152,6 +180,24 @@ def main(argv=None) -> int:
         default=MIN_SERVICE_HIT_RATE,
         help=f"minimum service cache hit rate (default {MIN_SERVICE_HIT_RATE:.2f})",
     )
+    parser.add_argument(
+        "--kernel",
+        type=Path,
+        default=None,
+        help="freshly generated BENCH_kernel.json (optional)",
+    )
+    parser.add_argument(
+        "--kernel-baseline",
+        type=Path,
+        default=None,
+        help="previous BENCH_kernel.json to compare against",
+    )
+    parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=MIN_KERNEL_SPEEDUP,
+        help=f"minimum kernel-over-interpret speedup (default {MIN_KERNEL_SPEEDUP:.0f})",
+    )
     args = parser.parse_args(argv)
 
     current = load_cases(args.current)
@@ -171,6 +217,17 @@ def main(argv=None) -> int:
                 f"  {name}: {float(case.get('requests_per_sec', 0.0)):.0f} req/s, "
                 f"hit rate {float(case.get('hit_rate', 0.0)):.3f}"
             )
+
+    if args.kernel is not None:
+        kernel_current = load_cases(args.kernel)
+        kernel_baseline = (
+            load_cases(args.kernel_baseline)
+            if args.kernel_baseline is not None and args.kernel_baseline.exists()
+            else {}
+        )
+        problems += check_kernel(kernel_current, kernel_baseline, args.min_kernel_speedup)
+        for name, case in sorted(kernel_current.items()):
+            print(f"  {name}: {float(case.get('speedup', 0.0)):.0f}x kernel speedup")
 
     print(f"baseline cases : {', '.join(sorted(baseline)) or '(none)'}")
     print(f"current cases  : {', '.join(sorted(current)) or '(none)'}")

@@ -30,7 +30,10 @@ to the trace-replay backend of :mod:`repro.trace`: the register-level
 schedule is recorded once, compiled into a batched NumPy program and replayed
 over all block positions per sweep — bit-identical to the instruction-level
 interpreter (``backend="interpret"``) and typically orders of magnitude
-faster.
+faster.  ``backend="kernel"`` goes one step further: :mod:`repro.backend`
+code-generates the typed IR into one fused megakernel (content-key cached,
+optional numba target) and :mod:`repro.backend.measure` puts its measured
+wall-clock cycles per point next to the cost model's estimate.
 
 Parameter sweeps are first-class: :func:`repro.study` declares an
 experiment grid (method × stencil × ISA × core count × ...), expands the
@@ -92,8 +95,15 @@ from repro.trace import (
     TraceRecorder,
     compile_sweep,
 )
+from repro.backend import (
+    EXECUTION_BACKENDS,
+    KernelProgram,
+    compile_kernel,
+    measure_backend,
+    measured_vs_estimated,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "MachineSpec",
@@ -151,5 +161,10 @@ __all__ = [
     "scalability_cores",
     "TraceRecorder",
     "compile_sweep",
+    "EXECUTION_BACKENDS",
+    "KernelProgram",
+    "compile_kernel",
+    "measure_backend",
+    "measured_vs_estimated",
     "__version__",
 ]

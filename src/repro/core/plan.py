@@ -310,7 +310,13 @@ class CompiledPlan:
     # ------------------------------------------------------------------ #
     # numerical execution
     # ------------------------------------------------------------------ #
-    def run(self, grid: Grid, steps: int) -> np.ndarray:
+    def run(
+        self,
+        grid: Grid,
+        steps: int,
+        backend: Optional[str] = None,
+        optimize: Union[bool, Sequence, None] = False,
+    ) -> np.ndarray:
         """Advance ``grid`` by ``steps`` time steps and return the final values.
 
         Every method produces the same numerical answer as the reference
@@ -319,14 +325,54 @@ class CompiledPlan:
         tessellated tiles, or plain reference arithmetic.  ``run`` is pure
         (the grid is not mutated), which is what makes :meth:`run_batch`
         deterministic under thread fan-out.
+
+        ``backend`` selects the execution engine: ``None`` / ``"auto"`` (the
+        default) runs the method's own numeric executor; ``"kernel"``,
+        ``"trace"`` or ``"interpret"`` force the register-level schedule
+        through the named engine (periodic linear stencils on simulation-
+        capable methods only, grid extents in the schedule's block multiples;
+        tiling configuration is bypassed).  Whole folded updates run on the
+        chosen engine and any ``steps % m`` remainder finishes with exact
+        reference steps, so every backend returns bit-identical values.
+        ``optimize`` selects the IR pass pipeline of an explicit trace or
+        kernel backend (see :meth:`simulate`); it requires one.
         """
         if steps < 0:
             raise ValueError("steps must be non-negative")
+        if backend is not None and backend != "auto":
+            return self._run_backend(grid, steps, backend, optimize)
+        if optimize is not False and optimize is not None:
+            raise ValueError("optimize= requires an explicit execution backend")
         if steps == 0:
             return grid.values.copy()
         if self.descriptor.executor is not None:
             return self.descriptor.executor(self, grid, steps)
         return self.execute_generic(grid, steps)
+
+    def _run_backend(
+        self,
+        grid: Grid,
+        steps: int,
+        backend: str,
+        optimize: Union[bool, Sequence, None] = False,
+    ) -> np.ndarray:
+        """Numeric execution forced through one register-level engine."""
+        if backend not in ("trace", "interpret", "kernel"):
+            raise ValueError(
+                f"unknown execution backend {backend!r}; expected 'auto', "
+                "'kernel', 'trace' or 'interpret'"
+            )
+        if steps == 0:
+            return grid.values.copy()
+        m = self.steps_per_update
+        sweeps, remainder = divmod(steps, m)
+        if sweeps > 0:
+            values, _ = self.simulate(grid, sweeps * m, backend=backend, optimize=optimize)
+        else:
+            values = grid.values.copy()
+        for _ in range(remainder):
+            values = reference_step(self.spec, values, grid.boundary, aux=grid.aux)
+        return values
 
     def execute_generic(self, grid: Grid, steps: int) -> np.ndarray:
         """Shared fallback path: tessellated tiles if tiled, else reference.
@@ -397,11 +443,16 @@ class CompiledPlan:
             once, compiles it to a batched NumPy program (cached on the plan)
             and replays it over all block positions per sweep — bit-identical
             values and identical instruction counts, typically orders of
-            magnitude faster.  ``"interpret"`` executes the schedule one
-            simulated instruction at a time (the oracle the trace backend is
-            tested against).
+            magnitude faster.  ``"kernel"`` additionally code-generates the
+            IR into one fused megakernel (:mod:`repro.backend`) — the same
+            NumPy operations as trace replay emitted as straight-line source
+            with no per-op dispatch, so values and counts stay bit-identical
+            while the per-sweep overhead drops further.  ``"interpret"``
+            executes the schedule one simulated instruction at a time (the
+            oracle the other backends are tested against).
         optimize:
-            IR pass-pipeline selection for the trace backend.  ``False`` (the
+            IR pass-pipeline selection for the trace and kernel backends.
+            ``False`` (the
             default) replays the recorded program as-is — counts identical to
             the interpreter.  ``True`` runs the default optimizing pipeline
             (:data:`repro.ir.passes.DEFAULT_PASSES`); a sequence of pass
@@ -413,16 +464,17 @@ class CompiledPlan:
             pipelines containing custom callables are compiled per call (an
             empty pass selection means "no optimization").
         """
-        if backend not in ("trace", "interpret"):
+        if backend not in ("trace", "interpret", "kernel"):
             raise ValueError(
-                f"unknown simulation backend {backend!r}; expected 'trace' or 'interpret'"
+                f"unknown simulation backend {backend!r}; expected 'trace', "
+                "'kernel' or 'interpret'"
             )
         if optimize is not True and not optimize:
             # False, None and an explicitly empty pass sequence all mean "no
             # optimization" — one spelling, one cache entry.
             optimize = False
         if backend == "interpret" and optimize is not False:
-            raise ValueError("optimize= applies to the trace backend only")
+            raise ValueError("optimize= applies to the trace and kernel backends only")
         if not self.descriptor.supports_simulation:
             raise ValueError(
                 f"method {self.config.method!r} does not support simulated execution"
@@ -444,9 +496,12 @@ class CompiledPlan:
         vl = machine.vl
         values = grid.values.copy()
 
-        if backend == "trace":
+        if backend in ("trace", "kernel"):
             sweeps = steps // m
-            compiled = self._compiled_sweep(schedule, machine.isa, grid.dims, optimize)
+            if backend == "kernel":
+                compiled = self._compiled_kernel(schedule, machine.isa, grid.dims, optimize)
+            else:
+                compiled = self._compiled_sweep(schedule, machine.isa, grid.dims, optimize)
             if grid.dims == 1:
                 data = to_transpose_layout(values, vl)
                 for _ in range(sweeps):
@@ -505,6 +560,54 @@ class CompiledPlan:
                     compiled = compile_sweep(schedule, isa, optimize=optimize)
                     self._trace_cache[key] = compiled
         return compiled
+
+    def _compiled_kernel(
+        self,
+        schedule: FoldingSchedule,
+        isa: IsaSpec,
+        dims: int,
+        optimize: Union[bool, Sequence, None] = False,
+    ):
+        """The cached generated megakernel for ``(isa, dims, optimize)``.
+
+        Mirrors :meth:`_compiled_sweep` (same per-plan cache, disjoint key
+        prefix); the kernel itself is additionally shared process-wide
+        through :mod:`repro.backend`'s content-key cache, so two plans whose
+        schedules lower to the same program compile one kernel.
+        """
+        from repro.backend.codegen import compile_kernel
+
+        if optimize is False or optimize is None:
+            opt_key: object = "none"
+        else:
+            from repro.ir.passes import pipeline_key
+
+            opt_key = pipeline_key(optimize)
+        if isinstance(opt_key, tuple) and not all(isinstance(p, str) for p in opt_key):
+            return compile_kernel(schedule, isa, optimize=optimize)
+        key = ("kernel", isa.name, dims, opt_key)
+        compiled = self._trace_cache.get(key)
+        if compiled is None:
+            with self._trace_lock:
+                compiled = self._trace_cache.get(key)
+                if compiled is None:
+                    compiled = compile_kernel(schedule, isa, optimize=optimize)
+                    self._trace_cache[key] = compiled
+        return compiled
+
+    def measure(self, grid: Grid, steps: int, backend: str = "kernel", **kwargs):
+        """Measured wall-clock execution of the plan on one backend.
+
+        Convenience front end to
+        :func:`repro.backend.measure.measure_backend`: warmup + repeated
+        timed runs of ``run(grid, steps, backend=backend)``, reported as a
+        :class:`~repro.backend.measure.BackendMeasurement` (median seconds,
+        measured cycles per point for any assumed frequency).  Keyword
+        arguments — ``warmup``, ``repeats``, ``clock`` — pass through.
+        """
+        from repro.backend.measure import measure_backend
+
+        return measure_backend(self, grid, steps, backend=backend, **kwargs)
 
     def _simulation_schedule(self) -> FoldingSchedule:
         """The folding schedule backing simulated execution.

@@ -16,6 +16,8 @@ Table 3     :func:`repro.harness.experiments.table3` — 36-core speedups over
             a single core
 (extra)     :func:`repro.harness.experiments.pass_ablation` — IR
             pass-pipeline count reductions per stencil × ISA
+(extra)     :func:`repro.harness.experiments.measured_vs_estimated` —
+            cost-model validation on the generated-kernel backend
 ==========  ===============================================================
 
 :mod:`repro.harness.runner` exposes a registry keyed by those names and
@@ -32,6 +34,7 @@ from repro.harness.experiments import (
     table3,
     collects_analysis,
     dims3,
+    measured_vs_estimated,
     pass_ablation,
 )
 from repro.harness.runner import EXPERIMENTS, run_experiment, run_all
@@ -46,6 +49,7 @@ __all__ = [
     "table3",
     "collects_analysis",
     "dims3",
+    "measured_vs_estimated",
     "pass_ablation",
     "EXPERIMENTS",
     "run_experiment",

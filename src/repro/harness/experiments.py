@@ -697,3 +697,101 @@ def dims3(
         ),
         notes=f"m={m}, stencils={', '.join(stencils)}",
     )
+
+
+# --------------------------------------------------------------------------- #
+# measured vs estimated — cost-model validation on the kernel backend
+# --------------------------------------------------------------------------- #
+def measured_vs_estimated(
+    stencils: Sequence[str] = ("1d-heat", "2d9p", "3d-heat"),
+    m: int = 2,
+    steps: Optional[int] = None,
+    backend: str = "kernel",
+    repeats: int = 3,
+    machine: Optional[MachineSpec] = None,
+    workers: Optional[int] = None,
+    cache: Optional[EvalCache] = None,
+    clock=None,
+) -> ExperimentResult:
+    """Estimated vs measured cycles per point, per stencil × ISA, one axis.
+
+    Every cell compiles the folded plan, asks the cost model for its
+    predicted cycles per point, then *measures* the same workload on the
+    generated-megakernel backend (:mod:`repro.backend`) — warmup + repeated
+    timed runs, median — and converts the measurement with the estimate's
+    effective frequency so both figures sit on the cost model's axis.  The
+    ``measured_over_estimated`` ratio is the Python/NumPy interpretation gap;
+    rows where it approaches 1 are where the model is validated against the
+    hardware rather than merely predictive.  Cells the register-level
+    schedule cannot express (non-linear stencils, folded radius beyond the
+    vector length) are skipped.
+
+    ``clock`` injects the timing source (:mod:`repro.backend.measure`), which
+    is how the test suite runs this experiment deterministically.  Timings
+    are memoized per (stencil, isa, m, steps, backend, repeats) within the
+    study cache — share a cache across calls only when re-measuring is not
+    the point.
+    """
+    from repro.backend.measure import measured_vs_estimated as compare
+    from repro.core.plan import plan as build_plan
+    from repro.core.vectorized_folding import FoldingSchedule
+    from repro.simd.isa import isa_for
+    from repro.stencils.grid import Grid
+
+    machine_avx2, machine_avx512 = _multicore_machines(machine)
+    time_steps = steps if steps is not None else 2 * m
+
+    def metric(cell: StudyCell) -> Optional[Dict[str, object]]:
+        case = get_benchmark(cell["stencil"])
+        spec = case.spec
+        isa = isa_for(cell["isa"])
+        if not spec.linear:
+            return None
+
+        def measure():
+            if FoldingSchedule(spec, m).radius > isa.vector_lanes:
+                return None
+            compiled = build_plan(spec).method("folded").isa(isa.name).unroll(m).compile()
+            shape = _ABLATION_SHAPES[spec.dims](isa.vector_lanes)
+            grid = Grid.random(shape, seed=0)
+            report = compare(
+                compiled,
+                grid,
+                time_steps,
+                backend=backend,
+                machine=machine_avx512 if isa.name == "avx512" else machine_avx2,
+                repeats=repeats,
+                clock=clock,
+            )
+            return {
+                "benchmark": case.display_name,
+                "isa": isa.name,
+                "estimated_cycles_per_point": report["estimated_cycles_per_point"],
+                "measured_cycles_per_point": report["measured_cycles_per_point"],
+                "measured_over_estimated": report["measured_over_estimated"],
+                "median_seconds": report["median_seconds"],
+                "frequency_ghz": report["frequency_ghz"],
+                "bound": report["bound"],
+            }
+
+        return cell.cache.memoize(
+            "measured-vs-estimated",
+            (case.key, isa.name, m, time_steps, backend, repeats),
+            measure,
+        )
+
+    swept = (
+        study("measured_vs_estimated")
+        .over(stencil=tuple(stencils), isa=("avx2", "avx512"))
+        .metric(metric)
+        .cache(cache)
+        .run(workers=workers if workers is not None else 1)
+    )
+    return swept.to_experiment(
+        name="measured_vs_estimated",
+        description=(
+            "Cost-model validation: estimated vs measured cycles per point "
+            f"on the {backend} execution backend"
+        ),
+        notes=f"m={m}, steps={time_steps}, backend={backend}, repeats={repeats}",
+    )

@@ -39,6 +39,7 @@ from repro.harness.experiments import (
     figure8,
     figure9,
     figure10,
+    measured_vs_estimated,
     pass_ablation,
     table2,
     table3,
@@ -60,6 +61,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "collects": collects_analysis,
     "dims3": dims3,
     "pass_ablation": pass_ablation,
+    "measured_vs_estimated": measured_vs_estimated,
 }
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.backend import backend_keys
 from repro.registry import get_method, is_registered
 from repro.stencils.library import BENCHMARKS, get_benchmark
 from repro.study.hashing import config_hash
@@ -180,6 +181,20 @@ def _isa_field(params: Mapping[str, Any]) -> str:
     return isa
 
 
+def _backend_field(params: Mapping[str, Any], default: str, allow_auto: bool) -> str:
+    """Validate ``backend`` against the execution-backend registry.
+
+    The normalized value lands in ``params`` and therefore in the request's
+    ``config_hash`` identity: kernel and interpret executions of the same
+    configuration are distinct store entries, never collisions.
+    """
+    backend = _str_field(params, "backend", default)
+    allowed = (("auto",) if allow_auto else ()) + backend_keys()
+    if backend not in allowed:
+        raise _invalid(f"'backend' must be one of {allowed}")
+    return backend
+
+
 # --------------------------------------------------------------------------- #
 # per-kind normalisers — each returns the complete params dict
 # --------------------------------------------------------------------------- #
@@ -215,6 +230,7 @@ def _normalize_simulate(params: Mapping[str, Any]) -> Dict[str, Any]:
         "steps": _int_field(params, "steps", None, 1),
         "seed": _int_field(params, "seed", 0, 0),
         "optimize": _bool_field(params, "optimize", False),
+        "backend": _backend_field(params, default="trace", allow_auto=False),
     }
 
 
@@ -227,6 +243,7 @@ def _normalize_run(params: Mapping[str, Any]) -> Dict[str, Any]:
         "shape": _shape_field(params, max_points=1 << 22),
         "steps": _int_field(params, "steps", None, 1),
         "seed": _int_field(params, "seed", 0, 0),
+        "backend": _backend_field(params, default="auto", allow_auto=True),
     }
 
 

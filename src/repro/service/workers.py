@@ -139,9 +139,15 @@ def _execute_simulate(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     plan = _compiled_plan(payload)
     grid = Grid.random(tuple(payload["shape"]), seed=payload["seed"])
-    values, counts = plan.simulate(grid, payload["steps"], optimize=payload["optimize"])
+    values, counts = plan.simulate(
+        grid,
+        payload["steps"],
+        backend=payload.get("backend", "trace"),
+        optimize=payload["optimize"],
+    )
     return {
         "values": values,
+        "backend": payload.get("backend", "trace"),
         "instructions": {
             "total": counts.total,
             # InstructionClass enum keys -> stable lowercase names on the wire.
@@ -160,8 +166,9 @@ def _execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
     grid = get_benchmark(payload["stencil"]).make_grid(
         tuple(payload["shape"]), seed=payload["seed"]
     )
-    values = plan.run(grid, payload["steps"])
-    return {"values": values}
+    backend = payload.get("backend", "auto")
+    values = plan.run(grid, payload["steps"], backend=None if backend == "auto" else backend)
+    return {"values": values, "backend": backend}
 
 
 def _execute_study(payload: Dict[str, Any]) -> Dict[str, Any]:

@@ -1,0 +1,129 @@
+"""Deterministic timing: repro.backend.measure under an injected clock.
+
+No test here (or anywhere in tier-1) asserts on real wall-clock time: every
+measurement runs against a fake monotonic clock, so medians, warmup
+exclusion and the cycles-per-point conversion are checked exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.measure import (
+    BackendMeasurement,
+    Measurement,
+    measure_backend,
+    measure_callable,
+    measured_vs_estimated,
+)
+from repro.core.plan import plan
+from repro.stencils.grid import Grid
+
+
+class FakeClock:
+    """Monotonic clock advancing by a scripted step per sample."""
+
+    def __init__(self, steps):
+        self.now = 0.0
+        self.steps = list(steps)
+        self.samples = 0
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.steps[self.samples % len(self.steps)]
+        self.samples += 1
+        return value
+
+
+class TestMeasureCallable:
+    def test_warmup_is_excluded_and_median_exact(self):
+        calls = []
+        # Each timed repeat consumes two clock samples (start, stop): with a
+        # constant step of 1.0 every sample lasts exactly 1.0 fake seconds.
+        clock = FakeClock([1.0])
+        result = measure_callable(lambda: calls.append(1), warmup=2, repeats=3, clock=clock)
+        assert len(calls) == 5  # 2 warmup + 3 timed
+        assert result.warmup == 2 and result.repeats == 3
+        assert result.samples == (1.0, 1.0, 1.0)
+        assert result.median_seconds == 1.0
+        assert clock.samples == 6  # warmup never touches the clock
+
+    def test_statistics_over_uneven_samples(self):
+        # Durations cycle 1, 3, 8 (stop-start pairs interleave with the idle
+        # step of 0 between repeats).
+        clock = FakeClock([1.0, 0.0, 3.0, 0.0, 8.0, 0.0])
+        result = measure_callable(lambda: None, warmup=0, repeats=3, clock=clock)
+        assert result.samples == (1.0, 3.0, 8.0)
+        assert result.median_seconds == 3.0
+        assert result.best_seconds == 1.0
+        assert result.mean_seconds == pytest.approx(4.0)
+        payload = result.to_dict()
+        assert payload["median_seconds"] == 3.0 and payload["samples"] == [1.0, 3.0, 8.0]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="repeats"):
+            measure_callable(lambda: None, repeats=0)
+        with pytest.raises(ValueError, match="warmup"):
+            measure_callable(lambda: None, warmup=-1)
+
+
+class TestBackendMeasurement:
+    def test_cycles_per_point_conversion(self):
+        measurement = Measurement(samples=(2.0, 4.0, 6.0), warmup=1)
+        measured = BackendMeasurement(
+            backend="kernel", measurement=measurement, points=1000, steps=4, sweeps=2
+        )
+        assert measured.median_seconds == 4.0
+        assert measured.seconds_per_point == pytest.approx(0.001)
+        # 0.001 s/point at 2 GHz = 2e6 cycles per point update.
+        assert measured.cycles_per_point(2.0) == pytest.approx(2e6)
+        with pytest.raises(ValueError, match="frequency"):
+            measured.cycles_per_point(0.0)
+
+    def test_measure_backend_runs_the_plan(self):
+        p = plan("1d-heat").method("folded").isa("avx2").unroll(2).compile()
+        grid = Grid.random((4 * 16,), seed=0)
+        clock = FakeClock([0.5])
+        measured = measure_backend(p, grid, 4, backend="trace", repeats=2, clock=clock)
+        assert measured.backend == "trace"
+        assert measured.steps == 4 and measured.sweeps == 2
+        assert measured.points == 64
+        assert measured.measurement.samples == (0.5, 0.5)
+        with pytest.raises(ValueError, match="steps"):
+            measure_backend(p, grid, 0, clock=clock)
+
+
+class TestMeasuredVsEstimated:
+    def test_report_puts_both_figures_on_one_axis(self):
+        p = plan("2d9p").method("folded").isa("avx512").unroll(2).compile()
+        grid = Grid.random((16, 16), seed=0)
+        report = measured_vs_estimated(p, grid, 4, repeats=3, clock=FakeClock([1.0]))
+        assert report["stencil"] == "2d9p" and report["backend"] == "kernel"
+        assert report["points"] == 256 and report["steps"] == 4
+        # Median run = 1 fake second over 256 points × 4 steps.
+        expected_cpp = (1.0 / (256 * 4)) * report["frequency_ghz"] * 1e9
+        assert report["measured_cycles_per_point"] == pytest.approx(expected_cpp)
+        assert report["estimated_cycles_per_point"] > 0
+        assert report["measured_over_estimated"] == pytest.approx(
+            expected_cpp / report["estimated_cycles_per_point"]
+        )
+
+    def test_harness_experiment_is_deterministic_under_fake_clock(self):
+        from repro.harness.experiments import measured_vs_estimated as experiment
+
+        result = experiment(
+            stencils=("1d-heat", "2d9p"), repeats=2, clock=FakeClock([1.0])
+        )
+        assert result.name == "measured_vs_estimated"
+        assert {(r["benchmark"], r["isa"]) for r in result.rows} == {
+            ("1D-Heat", "avx2"),
+            ("1D-Heat", "avx512"),
+            ("2D9P", "avx2"),
+            ("2D9P", "avx512"),
+        }
+        for row in result.rows:
+            assert row["estimated_cycles_per_point"] > 0
+            assert row["measured_cycles_per_point"] > 0
+            assert row["measured_over_estimated"] == pytest.approx(
+                row["measured_cycles_per_point"] / row["estimated_cycles_per_point"]
+            )

@@ -180,6 +180,7 @@ class TestCollectsAndRunner:
             "collects",
             "dims3",
             "pass_ablation",
+            "measured_vs_estimated",
         }
         result = run_experiment("collects")
         assert result.name == "collects"

@@ -329,7 +329,7 @@ class TestPlanIntegration:
 
     def test_optimize_with_interpret_backend_rejected(self):
         p = plan("1d-heat").method("folded").unroll(2).compile()
-        with pytest.raises(ValueError, match="trace backend"):
+        with pytest.raises(ValueError, match="trace and kernel backends"):
             p.simulate(Grid.random((48,), seed=1), 2, backend="interpret", optimize=True)
 
     def test_explain_reports_pass_deltas(self):

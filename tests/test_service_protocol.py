@@ -85,6 +85,38 @@ class TestValidation:
         assert again == request
 
 
+class TestBackendField:
+    """`backend` is a validated request field on simulate and run."""
+
+    def test_simulate_default_and_choices(self):
+        base = {"kind": "simulate", "stencil": "1d-heat", "shape": [64], "steps": 2}
+        assert normalize(base).params["backend"] == "trace"
+        for backend in ("interpret", "trace", "kernel"):
+            request = normalize({**base, "backend": backend})
+            assert request.params["backend"] == backend
+        # simulate always runs a concrete engine: "auto" is a run-only value.
+        assert "backend" in _err({**base, "backend": "auto"})
+        assert "backend" in _err({**base, "backend": "jit"})
+
+    def test_run_default_and_choices(self):
+        base = {"kind": "run", "stencil": "1d-heat", "shape": [64], "steps": 2}
+        assert normalize(base).params["backend"] == "auto"
+        for backend in ("auto", "interpret", "trace", "kernel"):
+            assert normalize({**base, "backend": backend}).params["backend"] == backend
+        assert "backend" in _err({**base, "backend": "megakernel"})
+
+    def test_backend_is_part_of_request_identity(self):
+        base = {"kind": "run", "stencil": "1d-heat", "shape": [64], "steps": 2}
+        keys = {
+            normalize(base).key,
+            normalize({**base, "backend": "kernel"}).key,
+            normalize({**base, "backend": "trace"}).key,
+        }
+        assert len(keys) == 3
+        # Spelling out the default yields the same canonical request.
+        assert normalize({**base, "backend": "auto"}).key == normalize(base).key
+
+
 class TestKeys:
     def test_key_ignores_spelling(self):
         a = normalize({"kind": "estimate", "stencil": "1d-heat", "m": 2})

@@ -65,6 +65,21 @@ class TestExecutePayload:
         assert result["instructions"]["total"] == counts.total
         assert all(isinstance(k, str) for k in result["instructions"]["counts"])
 
+    def test_backend_selection_reaches_execution(self):
+        base = {"kind": "simulate", "stencil": "1d-heat", "m": 2, "shape": [64], "steps": 4}
+        trace = execute_payload(_payload(base))
+        assert trace["backend"] == "trace"
+        kernel = execute_payload(_payload({**base, "backend": "kernel"}))
+        assert kernel["backend"] == "kernel"
+        assert np.array_equal(kernel["values"], trace["values"])
+        assert kernel["instructions"] == trace["instructions"]
+
+        run_auto = execute_payload(_payload({**base, "kind": "run"}))
+        assert run_auto["backend"] == "auto"
+        run_kernel = execute_payload(_payload({**base, "kind": "run", "backend": "kernel"}))
+        assert run_kernel["backend"] == "kernel"
+        assert np.array_equal(run_kernel["values"], run_auto["values"])
+
     def test_study_rows_match_estimates(self):
         payload = _payload(
             {
