@@ -7,7 +7,13 @@ requests, schedules cold work onto a process-pool worker tier
 (:mod:`repro.service.workers`, studies sharded across workers), and answers
 repeats from a two-level cache — in-memory
 :class:`~repro.study.cache.EvalCache` over the persistent, versioned,
-LRU-capped :class:`~repro.service.store.ResultStore`.
+LRU-capped, digest-verified :class:`~repro.service.store.ResultStore`.
+
+The service is chaos-hardened: :mod:`repro.service.faults` injects seeded,
+replayable failures at named sites throughout this stack, and
+:mod:`repro.service.resilience` supplies the survival policies (retry
+budgets with decorrelated-jitter backoff, a circuit breaker over pool
+crashes, poison-pill quarantine) the chaos suite validates.
 
 Start it with ``repro-serve`` (or ``python -m repro.service.server``) and
 talk to it with :class:`~repro.service.client.ServiceClient` — see
@@ -15,6 +21,14 @@ talk to it with :class:`~repro.service.client.ServiceClient` — see
 """
 
 from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+    deactivate,
+    install,
+)
 from repro.service.protocol import (
     KINDS,
     PROTOCOL_VERSION,
@@ -22,6 +36,7 @@ from repro.service.protocol import (
     ServiceError,
     normalize,
 )
+from repro.service.resilience import CircuitBreaker, PoisonQuarantine, RetryPolicy
 from repro.service.serial import UnserialisableValue, decode, encode
 from repro.service.server import (
     ServiceConfig,
@@ -36,8 +51,15 @@ __all__ = [
     "KINDS",
     "PROTOCOL_VERSION",
     "STORE_VERSION",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedCrash",
+    "InjectedFault",
+    "PoisonQuarantine",
     "Request",
     "ResultStore",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
@@ -47,9 +69,11 @@ __all__ = [
     "StoreStats",
     "UnserialisableValue",
     "WorkerPool",
+    "deactivate",
     "decode",
     "encode",
     "execute_payload",
+    "install",
     "normalize",
     "serve_background",
 ]

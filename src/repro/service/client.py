@@ -8,16 +8,26 @@ back into Python objects.  Intended for scripts, tests and benchmarks::
         reply = client.submit({"kind": "estimate", "stencil": "heat-3d",
                                "method": "folded", "m": 4})
         print(reply["served_from"], reply["result"]["gflops"])
+
+Retries are **opt-in**: pass a
+:class:`~repro.service.resilience.RetryPolicy` and :meth:`submit` retries
+idempotent requests (every service request is content-addressed, hence
+idempotent) on connection failures and 503s, honouring the server's
+``Retry-After`` hint with the same decorrelated-jitter backoff the worker
+tier uses.  Without a policy the client fails fast, as before.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
-from typing import Any, Dict, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
-from repro.service import serial
+from repro.service import faults, serial
+from repro.service.resilience import RetryPolicy
 
 __all__ = ["ServiceClient", "ServiceUnavailable"]
 
@@ -45,9 +55,19 @@ class ServiceClient:
     """One service endpoint; connections are per-call (the server closes
     after each response), so a client object is cheap and thread-safe."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self._rng = rng if rng is not None else random.Random(0xC11E)
+        self._sleep = sleep
         if base_url.startswith("unix://"):
             self._unix_path: Optional[str] = base_url[len("unix://") :]
             self._netloc = None
@@ -67,6 +87,31 @@ class ServiceClient:
             return _UnixHTTPConnection(self._unix_path, timeout=self.timeout)
         return http.client.HTTPConnection(self._netloc, timeout=self.timeout)
 
+    def request_full(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, Mapping[str, str], bytes]:
+        """One HTTP exchange; ``(status, headers, body_bytes)`` verbatim.
+
+        The ``client.request`` chaos site fires inside the same ``try`` the
+        real socket errors come from, so an injected connection reset is
+        indistinguishable from a genuine one.
+        """
+        conn = self._connection()
+        try:
+            faults.get().inject("client.request", context={"method": method, "path": path})
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                response.read(),
+            )
+        except (ConnectionError, socket.timeout, socket.gaierror, OSError) as exc:
+            raise ServiceUnavailable(f"{method} {path} on {self.base_url}: {exc}") from exc
+        finally:
+            conn.close()
+
     def request_raw(
         self, method: str, path: str, body: Optional[bytes] = None
     ) -> Tuple[int, bytes]:
@@ -75,16 +120,8 @@ class ServiceClient:
         The raw form exists so tests can assert byte-identical responses
         (cache correctness) without any decode/re-encode laundering.
         """
-        conn = self._connection()
-        try:
-            headers = {"Content-Type": "application/json"} if body else {}
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            return response.status, response.read()
-        except (ConnectionError, socket.timeout, socket.gaierror, OSError) as exc:
-            raise ServiceUnavailable(f"{method} {path} on {self.base_url}: {exc}") from exc
-        finally:
-            conn.close()
+        status, _, raw = self.request_full(method, path, body)
+        return status, raw
 
     # ------------------------------------------------------------------ #
     # API
@@ -95,18 +132,48 @@ class ServiceClient:
         Raises :class:`ServiceError`-shaped ``RuntimeError`` on non-2xx so
         callers don't silently treat errors as results.  With
         ``decode_result`` (default) the envelope's ``result`` has tagged
-        arrays decoded back to ``numpy.ndarray``.
+        arrays decoded back to ``numpy.ndarray``.  With a ``retry`` policy,
+        connection failures and 503 (overloaded/draining) responses are
+        retried under the policy's budget, waiting at least the server's
+        ``Retry-After`` when one is given.
         """
         body = json.dumps(payload, sort_keys=True).encode()
-        status, raw = self.request_raw("POST", "/v1/requests", body)
-        envelope = json.loads(raw.decode())
-        if status != 200 or not envelope.get("ok", False):
-            error = envelope.get("error", {})
-            message = error.get("message", repr(raw[:200]))
-            raise RuntimeError(f"service error {status}: {error.get('code', '?')}: {message}")
-        if decode_result and "result" in envelope:
-            envelope["result"] = serial.decode(envelope["result"])
-        return envelope
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        attempt = 0
+        delay: Optional[float] = None
+        while True:
+            attempt += 1
+            retry_after: Optional[float] = None
+            try:
+                status, headers, raw = self.request_full("POST", "/v1/requests", body)
+            except ServiceUnavailable:
+                if attempt >= attempts:
+                    raise
+                status = None
+            else:
+                if status == 200:
+                    envelope = json.loads(raw.decode())
+                    if envelope.get("ok", False):
+                        if decode_result and "result" in envelope:
+                            envelope["result"] = serial.decode(envelope["result"])
+                        return envelope
+                    status = 500  # 200 without ok: treat as a server error
+                if status != 503 or attempt >= attempts:
+                    envelope = _parse_envelope(raw)
+                    error = envelope.get("error", {})
+                    message = error.get("message", repr(raw[:200]))
+                    raise RuntimeError(
+                        f"service error {status}: {error.get('code', '?')}: {message}"
+                    )
+                header = headers.get("retry-after")
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+            assert self.retry is not None  # attempts > 1 implies a policy
+            delay = self.retry.next_delay(delay, self._rng)
+            self._sleep(max(delay, retry_after or 0.0))
 
     def submit_raw(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
         """POST one request; return the raw ``(status, body)`` exchange."""
@@ -140,3 +207,11 @@ class ServiceClient:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ServiceClient({self.base_url!r})"
+
+
+def _parse_envelope(raw: bytes) -> Dict[str, Any]:
+    try:
+        envelope = json.loads(raw.decode())
+    except (ValueError, UnicodeDecodeError):
+        return {}
+    return envelope if isinstance(envelope, dict) else {}

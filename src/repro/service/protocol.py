@@ -29,7 +29,7 @@ response cache and the persistent store.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.backend import backend_keys
 from repro.registry import get_method, is_registered
@@ -39,7 +39,7 @@ from repro.study.hashing import config_hash
 __all__ = [
     "PROTOCOL_VERSION",
     "KINDS",
-    "INTERNAL_KINDS",
+    "RETIRED_KINDS",
     "ServiceError",
     "Request",
     "normalize",
@@ -54,13 +54,14 @@ PROTOCOL_VERSION = 1
 #: Public request kinds, cheap → expensive.
 KINDS = ("plan", "estimate", "simulate", "run", "study")
 
-#: Fault-injection kinds used by the test suite and disabled by default
-#: (:class:`~repro.service.server.ServiceConfig.enable_fault_injection`).
-INTERNAL_KINDS = ("_sleep", "_crash")
+#: Former hidden fault-injection kinds, replaced by the seeded
+#: :mod:`repro.service.faults` framework.  Rejected with a pointed message
+#: so a stale chaos harness fails loudly instead of silently validating.
+RETIRED_KINDS = ("_sleep", "_crash")
 
 #: Kinds whose cold execution is heavyweight (full grid sweeps): they queue
 #: behind cheap analysis requests at the same arrival time.
-EXPENSIVE_KINDS = frozenset({"simulate", "run", "study", "_sleep", "_crash"})
+EXPENSIVE_KINDS = frozenset({"simulate", "run", "study"})
 
 ISAS = ("avx2", "avx512")
 
@@ -69,18 +70,31 @@ class ServiceError(Exception):
     """A structured, client-visible failure.
 
     ``code`` is machine-matchable (``invalid-request``, ``overloaded``,
-    ``timeout``, ``worker-crash``, ``draining``, ``internal``); ``status``
-    is the HTTP status the front end maps it to.
+    ``timeout``, ``worker-crash``, ``quarantined``, ``draining``,
+    ``internal``); ``status`` is the HTTP status the front end maps it to.
+    ``retry_after`` (seconds) rides along on load-shedding errors and
+    becomes the HTTP ``Retry-After`` header, so well-behaved clients back
+    off for exactly as long as the server suggests.
     """
 
-    def __init__(self, code: str, message: str, status: int = 400):
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        status: int = 400,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(message)
         self.code = code
         self.message = message
         self.status = status
+        self.retry_after = retry_after
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"code": self.code, "message": self.message}
+        out: Dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.retry_after is not None:
+            out["retry_after"] = self.retry_after
+        return out
 
 
 def _invalid(message: str) -> ServiceError:
@@ -287,34 +301,16 @@ def _normalize_study(params: Mapping[str, Any]) -> Dict[str, Any]:
     }
 
 
-def _normalize_sleep(params: Mapping[str, Any]) -> Dict[str, Any]:
-    seconds = params.get("seconds", 0.05)
-    if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
-        raise _invalid("'seconds' must be a number")
-    if not 0 <= seconds <= 30:
-        raise _invalid("'seconds' must lie in [0, 30]")
-    return {"seconds": float(seconds), "token": params.get("token", 0)}
-
-
-def _normalize_crash(params: Mapping[str, Any]) -> Dict[str, Any]:
-    marker = params.get("marker")
-    if not isinstance(marker, str) or not marker:
-        raise _invalid("'marker' must be a file path string")
-    return {"marker": marker}
-
-
 _NORMALIZERS = {
     "plan": _normalize_plan,
     "estimate": _normalize_estimate,
     "simulate": _normalize_simulate,
     "run": _normalize_run,
     "study": _normalize_study,
-    "_sleep": _normalize_sleep,
-    "_crash": _normalize_crash,
 }
 
 
-def normalize(payload: Any, allow_internal: bool = False) -> Request:
+def normalize(payload: Any) -> Request:
     """Validate ``payload`` and return the canonical :class:`Request`.
 
     Raises :class:`ServiceError` (code ``invalid-request``) for anything
@@ -327,8 +323,12 @@ def normalize(payload: Any, allow_internal: bool = False) -> Request:
     if not isinstance(kind, str):
         raise _invalid("'kind' must be a string")
     kind = kind.strip().lower()
-    known: Tuple[str, ...] = KINDS + (INTERNAL_KINDS if allow_internal else ())
-    if kind not in known:
+    if kind in RETIRED_KINDS:
+        raise _invalid(
+            f"kind {kind!r} was retired; use the seeded fault-injection "
+            f"schedule (ServiceConfig.faults / repro.service.faults) instead"
+        )
+    if kind not in KINDS:
         raise _invalid(f"unknown kind {kind!r}; known: {', '.join(KINDS)}")
     params = _NORMALIZERS[kind](payload)
     key = config_hash("service", PROTOCOL_VERSION, kind, params)

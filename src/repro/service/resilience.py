@@ -1,0 +1,258 @@
+"""Resilience policies: retry backoff, circuit breaking, poison quarantine.
+
+These are the survival half of the chaos story
+(:mod:`repro.service.faults` is the provocation half).  All three classes
+are deliberately free of service imports and take injectable clocks/RNGs,
+so the chaos suite can drive them through years of simulated failures
+without a single real sleep — the tier-1 suite stays wall-clock-free.
+
+* :class:`RetryPolicy` — exponential backoff with *decorrelated jitter*
+  (AWS architecture-blog variant: each delay is drawn uniformly from
+  ``[base, 3 * previous]``, capped), plus the per-request retry budget
+  (``max_attempts``).
+* :class:`CircuitBreaker` — counts pool-crash events in a sliding window;
+  at ``threshold`` it opens and the worker tier degrades to its inline
+  thread executor instead of fork-rebuilding a pool the workload keeps
+  killing.  After ``cooldown`` it half-opens: one trial job may use the
+  pool again; success closes it, failure re-opens.
+* :class:`PoisonQuarantine` — payload keys (``config_hash``) that
+  repeatedly kill workers are refused with a structured error instead of
+  crash-looping the pool; bounded, with FIFO eviction of old records.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "PoisonQuarantine"]
+
+#: Breaker states (plain strings so they serialise into ``/v1/stats`` as-is).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget plus decorrelated-jitter backoff.
+
+    ``max_attempts`` counts *total* tries (1 = never retry).  Delays are a
+    pure function of the injected RNG: seeding it makes the whole retry
+    trajectory replayable.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+
+    @property
+    def retry_budget(self) -> int:
+        """Retries available after the first attempt."""
+        return self.max_attempts - 1
+
+    def next_delay(self, previous: Optional[float], rng: random.Random) -> float:
+        """The delay before the next attempt, given the previous delay."""
+        if previous is None or previous <= 0:
+            previous = self.base_delay
+        upper = max(self.base_delay, min(self.max_delay, previous * 3.0))
+        return rng.uniform(self.base_delay, upper)
+
+    def delays(self, rng: random.Random):
+        """Generate the full backoff trajectory (``retry_budget`` delays)."""
+        previous: Optional[float] = None
+        for _ in range(self.retry_budget):
+            previous = self.next_delay(previous, rng)
+            yield previous
+
+
+class CircuitBreaker:
+    """Sliding-window failure breaker over pool-crash events (thread-safe).
+
+    ``record_failure`` marks one pool crash/rebuild; ``threshold`` of them
+    inside ``window`` seconds opens the circuit.  While open,
+    :meth:`allow_primary` is ``False`` and callers should use their
+    degraded path.  ``cooldown`` seconds later the breaker half-opens:
+    :meth:`allow_primary` returns ``True`` again so one caller can probe
+    the primary; :meth:`record_success` then closes the circuit,
+    :meth:`record_failure` re-opens it for another cooldown.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        window: float = 30.0,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = int(threshold)
+        self.window = float(window)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures: Deque[float] = deque()
+        self._opened_at: Optional[float] = None
+        self._opened_count = 0
+        self._closed_count = 0
+        self._transitions: list = []
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    def _state_locked(self, now: float) -> str:
+        if self._opened_at is None:
+            return CLOSED
+        if now - self._opened_at >= self.cooldown:
+            return HALF_OPEN
+        return OPEN
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked(self._clock())
+
+    def allow_primary(self) -> bool:
+        """Whether the primary (process-pool) path may be used right now."""
+        return self.state != OPEN
+
+    # ------------------------------------------------------------------ #
+    # events
+    # ------------------------------------------------------------------ #
+    def _transition_locked(self, now: float, new_state: str) -> None:
+        self._transitions.append({"at": now, "to": new_state})
+        if len(self._transitions) > 64:
+            del self._transitions[: len(self._transitions) - 64]
+
+    def record_failure(self) -> bool:
+        """Note one pool-crash event; returns ``True`` if now open."""
+        with self._lock:
+            now = self._clock()
+            state = self._state_locked(now)
+            if state == HALF_OPEN:
+                # The trial job failed: straight back to open, fresh cooldown.
+                self._opened_at = now
+                self._opened_count += 1
+                self._transition_locked(now, OPEN)
+                return True
+            if state == OPEN:
+                return True
+            self._failures.append(now)
+            while self._failures and now - self._failures[0] > self.window:
+                self._failures.popleft()
+            if len(self._failures) >= self.threshold:
+                self._opened_at = now
+                self._opened_count += 1
+                self._failures.clear()
+                self._transition_locked(now, OPEN)
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """Note a successful primary job; closes a half-open circuit."""
+        with self._lock:
+            now = self._clock()
+            if self._opened_at is not None and self._state_locked(now) == HALF_OPEN:
+                self._opened_at = None
+                self._closed_count += 1
+                self._failures.clear()
+                self._transition_locked(now, CLOSED)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            now = self._clock()
+            return {
+                "state": self._state_locked(now),
+                "threshold": self.threshold,
+                "window_seconds": self.window,
+                "cooldown_seconds": self.cooldown,
+                "failures_in_window": len(self._failures),
+                "opened": self._opened_count,
+                "closed": self._closed_count,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker({self.state}, threshold={self.threshold})"
+
+
+class PoisonQuarantine:
+    """Crash-count registry over payload content keys (thread-safe).
+
+    A key that crashes workers ``threshold`` times is quarantined: the pool
+    refuses it with a structured error instead of burning another fork.
+    Bounded at ``capacity`` tracked keys (oldest records evicted first);
+    quarantined keys are never evicted by growth, only by :meth:`clear`.
+    """
+
+    def __init__(self, threshold: int = 2, capacity: int = 256):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold = int(threshold)
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._crashes: "OrderedDict[str, int]" = OrderedDict()
+        self._quarantined: "OrderedDict[str, int]" = OrderedDict()
+
+    def record_crash(self, key: Optional[str]) -> bool:
+        """Count one worker-killing crash for ``key``; ``True`` when the
+        key is (now or already) quarantined."""
+        if not key:
+            return False
+        with self._lock:
+            if key in self._quarantined:
+                return True
+            count = self._crashes.get(key, 0) + 1
+            self._crashes[key] = count
+            self._crashes.move_to_end(key)
+            while len(self._crashes) > self.capacity:
+                self._crashes.popitem(last=False)
+            if count >= self.threshold:
+                self._quarantined[key] = count
+                del self._crashes[key]
+                return True
+            return False
+
+    def is_quarantined(self, key: Optional[str]) -> bool:
+        if not key:
+            return False
+        with self._lock:
+            return key in self._quarantined
+
+    def clear(self, key: Optional[str] = None) -> None:
+        """Release one key (or everything) from quarantine."""
+        with self._lock:
+            if key is None:
+                self._crashes.clear()
+                self._quarantined.clear()
+            else:
+                self._crashes.pop(key, None)
+                self._quarantined.pop(key, None)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "threshold": self.threshold,
+                "tracked": len(self._crashes),
+                "quarantined": len(self._quarantined),
+                "keys": list(self._quarantined)[:32],
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return f"PoisonQuarantine(quarantined={s['quarantined']}, tracked={s['tracked']})"

@@ -133,6 +133,7 @@ class ServiceStats:
         "store_hits",
         "computed",
         "deduplicated",
+        "quarantined",
     )
 
     def __init__(self) -> None:

@@ -32,6 +32,8 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.service import faults
+
 __all__ = ["encode", "decode", "UnserialisableValue"]
 
 #: Arrays at or above this many bytes go to the ``.npz`` sidecar when one is
@@ -120,19 +122,26 @@ def decode(payload: Any, arrays: Optional[Dict[str, np.ndarray]] = None) -> Any:
     ``arrays`` maps sidecar keys (``arr_<i>``) to loaded ndarrays; required
     only for payloads encoded with a sidecar.
     """
+    # Chaos hook: one fault-site invocation per top-level decode, never per
+    # recursion step (the recursion depth would make schedules unreadable).
+    faults.get().inject("serial.decode")
+    return _decode(payload, arrays)
+
+
+def _decode(payload: Any, arrays: Optional[Dict[str, np.ndarray]] = None) -> Any:
     if isinstance(payload, list):
-        return [decode(v, arrays) for v in payload]
+        return [_decode(v, arrays) for v in payload]
     if not isinstance(payload, dict):
         return payload
     tag = payload.get(TAG)
     if tag is None:
-        return {k: decode(v, arrays) for k, v in payload.items()}
+        return {k: _decode(v, arrays) for k, v in payload.items()}
     if tag == "escaped":
-        return {k: decode(v, arrays) for k, v in payload["value"].items()}
+        return {k: _decode(v, arrays) for k, v in payload["value"].items()}
     if tag == "tuple":
-        return tuple(decode(v, arrays) for v in payload["items"])
+        return tuple(_decode(v, arrays) for v in payload["items"])
     if tag == "dict":
-        return {decode(k, arrays): decode(v, arrays) for k, v in payload["items"]}
+        return {_decode(k, arrays): _decode(v, arrays) for k, v in payload["items"]}
     if tag == "npscalar":
         return np.dtype(payload["dtype"]).type(payload["value"])
     if tag == "ndarray":
@@ -146,7 +155,7 @@ def decode(payload: Any, arrays: Optional[Dict[str, np.ndarray]] = None) -> Any:
         return _resolve_repro_class(payload["class"])[payload["name"]]
     if tag == "dataclass":
         cls = _resolve_repro_class(payload["class"])
-        fields = {k: decode(v, arrays) for k, v in payload["fields"].items()}
+        fields = {k: _decode(v, arrays) for k, v in payload["fields"].items()}
         return cls(**fields)
     raise UnserialisableValue(f"unknown serialisation tag {tag!r}")
 

@@ -42,8 +42,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.service import serial
+from repro.service import faults, serial
+from repro.service.faults import FaultInjector
 from repro.service.protocol import Request, ServiceError, expand_study_cells, normalize
+from repro.service.resilience import CircuitBreaker, PoisonQuarantine, RetryPolicy
 from repro.service.scheduling import AdmissionQueue, ServiceStats, classify_priority
 from repro.service.store import DEFAULT_MAX_BYTES, STORE_VERSION, ResultStore
 from repro.service.workers import WorkerPool
@@ -77,8 +79,24 @@ class ServiceConfig:
         Default and maximum per-request deadline, seconds.
     drain_timeout:
         How long a graceful shutdown waits for queued work.
-    enable_fault_injection:
-        Admit the ``_sleep``/``_crash`` test kinds (never enable publicly).
+    faults:
+        Optional fault-injection spec (``{"seed": ..., "rules": [...]}``,
+        :meth:`repro.service.faults.FaultInjector.from_spec`).  ``None``
+        (default) leaves the process-global injector untouched — tests may
+        have installed their own.
+    retry_max_attempts, retry_base_delay, retry_max_delay:
+        The worker tier's :class:`~repro.service.resilience.RetryPolicy`.
+    breaker_threshold, breaker_window, breaker_cooldown:
+        The pool's :class:`~repro.service.resilience.CircuitBreaker`:
+        ``threshold`` crashes within ``window`` seconds open it; after
+        ``cooldown`` seconds it half-opens for a trial job.
+    quarantine_threshold:
+        Worker-killing crashes per ``config_hash`` before the payload is
+        refused with a structured ``quarantined`` error.
+    watchdog_interval:
+        How often the dispatcher watchdog checks for dead dispatcher tasks.
+    retry_after_hint:
+        ``Retry-After`` seconds attached to shed/draining 503 responses.
     """
 
     host: str = "127.0.0.1"
@@ -91,7 +109,16 @@ class ServiceConfig:
     concurrency: Optional[int] = None
     request_timeout: float = 30.0
     drain_timeout: float = 10.0
-    enable_fault_injection: bool = False
+    faults: Optional[Dict[str, Any]] = None
+    retry_max_attempts: int = 3
+    retry_base_delay: float = 0.02
+    retry_max_delay: float = 0.25
+    breaker_threshold: int = 3
+    breaker_window: float = 30.0
+    breaker_cooldown: float = 5.0
+    quarantine_threshold: int = 2
+    watchdog_interval: float = 0.25
+    retry_after_hint: float = 1.0
 
     def dispatcher_count(self) -> int:
         if self.concurrency is not None:
@@ -118,15 +145,35 @@ class StencilService:
 
     def __init__(self, config: ServiceConfig):
         self.config = config
+        # Install the chaos schedule FIRST: the worker pool forks its
+        # processes lazily, but any directive-carrying payload depends on the
+        # submitting side's injector, which must be this one.
+        if config.faults is not None:
+            faults.install(FaultInjector.from_spec(config.faults))
         self.store = ResultStore(config.store_path, max_bytes=config.store_max_bytes)
         #: In-memory response tier; the persistent store sits underneath it
         #: (peek here first, fall through to :attr:`store` in the dispatcher).
         self.memo = EvalCache()
-        self.pool = WorkerPool(config.workers)
+        self.pool = WorkerPool(
+            config.workers,
+            retry=RetryPolicy(
+                max_attempts=config.retry_max_attempts,
+                base_delay=config.retry_base_delay,
+                max_delay=config.retry_max_delay,
+            ),
+            breaker=CircuitBreaker(
+                threshold=config.breaker_threshold,
+                window=config.breaker_window,
+                cooldown=config.breaker_cooldown,
+            ),
+            quarantine=PoisonQuarantine(threshold=config.quarantine_threshold),
+        )
         self.stats = ServiceStats()
         self.queue = AdmissionQueue(config.queue_size)
         self._inflight: Dict[str, asyncio.Future] = {}
         self._dispatchers: List[asyncio.Task] = []
+        self._watchdog: Optional[asyncio.Task] = None
+        self._dispatcher_restarts = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._draining = False
         self._closed = asyncio.Event()
@@ -136,9 +183,10 @@ class StencilService:
     # lifecycle
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
-        """Bind the socket and start the dispatcher tasks."""
+        """Bind the socket and start the dispatcher tasks + watchdog."""
         for _ in range(self.config.dispatcher_count()):
             self._dispatchers.append(asyncio.create_task(self._dispatch_loop()))
+        self._watchdog = asyncio.create_task(self._watchdog_loop())
         if self.config.unix_socket:
             self._server = await asyncio.start_unix_server(
                 self._handle_connection, path=self.config.unix_socket
@@ -174,6 +222,8 @@ class StencilService:
                 await asyncio.wait_for(self.queue.join(), timeout=self.config.drain_timeout)
             except asyncio.TimeoutError:
                 pass  # deadline wins; remaining jobs fail with cancellation
+        if self._watchdog is not None:
+            self._watchdog.cancel()
         for task in self._dispatchers:
             task.cancel()
         for future in list(self._inflight.values()):
@@ -200,7 +250,7 @@ class StencilService:
         """
         started = time.perf_counter()
         try:
-            request = normalize(payload, allow_internal=self.config.enable_fault_injection)
+            request = normalize(payload)
         except ServiceError as exc:
             self.stats.count("invalid", "received")
             self.stats.count("invalid", "errors")
@@ -208,7 +258,12 @@ class StencilService:
         kind = request.kind
         self.stats.count(kind, "received")
         if self._draining:
-            error = ServiceError("draining", "service is draining; retry elsewhere", 503)
+            error = ServiceError(
+                "draining",
+                "service is draining; retry elsewhere",
+                503,
+                retry_after=self.config.retry_after_hint,
+            )
             self.stats.count(kind, "shed")
             return error.status, _error_envelope(request, error)
         timeout = self._request_timeout(payload)
@@ -237,6 +292,7 @@ class StencilService:
                         "overloaded",
                         f"admission queue full ({self.queue.maxsize} deep); retry later",
                         status=503,
+                        retry_after=self.config.retry_after_hint,
                     )
                     return error.status, _error_envelope(request, error)
             else:
@@ -270,7 +326,13 @@ class StencilService:
                 ):
                     await asyncio.sleep(0)  # let the done-callback pop the cell
                     continue
-                self.stats.count(kind, "timeouts" if exc.code == "timeout" else "errors")
+                if exc.code == "timeout":
+                    self.stats.count(kind, "timeouts")
+                elif exc.code == "quarantined":
+                    self.stats.count(kind, "quarantined")
+                    self.stats.count(kind, "errors")
+                else:
+                    self.stats.count(kind, "errors")
                 return exc.status, _error_envelope(request, exc)
             return self._complete(request, value, served_from, started)
 
@@ -302,6 +364,10 @@ class StencilService:
     # ------------------------------------------------------------------ #
     async def _dispatch_loop(self) -> None:
         while True:
+            # Chaos hook, deliberately BEFORE take(): a dispatcher killed
+            # here holds no job, so the watchdog restart loses nothing and
+            # the no-hung-futures invariant survives dispatcher death.
+            faults.get().inject("server.dispatch")
             job = await self.queue.take()
             try:
                 await self._execute_job(job)
@@ -380,8 +446,29 @@ class StencilService:
             cells = expand_study_cells(request.params)
             shards = self.pool.workers if self.pool.workers > 0 else 1
             if shards > 1 and len(cells) > 1:
-                return await self.pool.run_study(dict(request.to_payload()), cells, shards)
-        return await self.pool.run(request.to_payload())
+                return await self.pool.run_study(
+                    dict(request.to_payload()), cells, shards, key=request.key
+                )
+        return await self.pool.run(request.to_payload(), key=request.key)
+
+    # ------------------------------------------------------------------ #
+    # dispatcher watchdog
+    # ------------------------------------------------------------------ #
+    async def _watchdog_loop(self) -> None:
+        """Replace dispatcher tasks that died (e.g. an injected crash).
+
+        Dispatchers are designed never to die — the loop catches every
+        job-level exception — so a dead one means a bug or a chaos fault.
+        Either way the service must keep draining its queue.
+        """
+        while True:
+            await asyncio.sleep(self.config.watchdog_interval)
+            if self._draining:
+                continue
+            for i, task in enumerate(self._dispatchers):
+                if task.done() and not task.cancelled():
+                    self._dispatchers[i] = asyncio.create_task(self._dispatch_loop())
+                    self._dispatcher_restarts += 1
 
     # ------------------------------------------------------------------ #
     # stats
@@ -409,6 +496,17 @@ class StencilService:
                 "processes": self.pool.workers,
                 "mode": "inline" if self.pool.workers == 0 else "process-pool",
             },
+            "resilience": {
+                **self.pool.resilience_stats(),
+                "dispatchers": {
+                    "configured": self.config.dispatcher_count(),
+                    "alive": sum(1 for t in self._dispatchers if not t.done()),
+                    "restarts": self._dispatcher_restarts,
+                },
+            },
+            # The injected-fault sequence rides along so a chaos artifact can
+            # assert byte-for-byte replay across processes, not just counts.
+            "faults": {**faults.get().stats(), "log": faults.get().snapshot_log()},
         }
 
     # ------------------------------------------------------------------ #
@@ -424,10 +522,21 @@ class StencilService:
             status, body = 500, {"ok": False, "error": error}
         try:
             encoded = json.dumps(serial.encode(body), sort_keys=True).encode()
+            headers = (
+                b"Content-Type: application/json\r\n"
+                + b"Content-Length: %d\r\n" % len(encoded)
+            )
+            retry_after = None
+            if isinstance(body, dict):
+                error = body.get("error")
+                if isinstance(error, dict):
+                    retry_after = error.get("retry_after")
+            if isinstance(retry_after, (int, float)):
+                # HTTP wants integral seconds; never advertise zero.
+                headers += b"Retry-After: %d\r\n" % max(1, int(retry_after))
             writer.write(
                 b"HTTP/1.1 %d %s\r\n" % (status, _REASONS.get(status, b"OK"))
-                + b"Content-Type: application/json\r\n"
-                + b"Content-Length: %d\r\n" % len(encoded)
+                + headers
                 + b"Connection: close\r\n\r\n"
                 + encoded
             )
@@ -591,6 +700,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--drain-timeout", type=float, default=10.0, help="graceful shutdown budget"
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC.json",
+        help="fault-injection schedule ({'seed':..., 'rules':[...]}) — chaos runs only",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="override the seed of the --faults schedule",
+    )
     return parser
 
 
@@ -619,6 +740,11 @@ async def _serve(config: ServiceConfig) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """Console entry point (``repro-serve``)."""
     args = _build_parser().parse_args(argv)
+    fault_spec: Optional[Dict[str, Any]] = None
+    if args.faults:
+        fault_spec = json.loads(Path(args.faults).read_text())
+        if args.fault_seed is not None:
+            fault_spec["seed"] = args.fault_seed
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -629,6 +755,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         queue_size=args.queue_size,
         request_timeout=args.timeout,
         drain_timeout=args.drain_timeout,
+        faults=fault_spec,
     )
     try:
         asyncio.run(_serve(config))

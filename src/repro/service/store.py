@@ -1,4 +1,4 @@
-"""Persistent, versioned, size-capped result store.
+"""Persistent, versioned, size-capped, digest-verified result store.
 
 The durable half of the service's cache hierarchy: an on-disk table of
 computed results keyed by ``(kind, config_hash)``, layered under the
@@ -11,41 +11,81 @@ hits across process restarts.  Design points:
   serving stale bytes.
 * **Atomic writes** — every blob is written to a temporary file in the same
   directory and ``os.replace``d into place, so a crashed or concurrent
-  writer can never leave a half-written entry observable; unreadable or
-  truncated blobs degrade to cold misses, never errors.
+  writer can never leave a half-written entry observable.  Stale ``.tmp``
+  litter from a crashed writer is swept into quarantine on startup.
+* **Content digests** — the manifest records a SHA-256 over the canonical
+  value JSON and over the raw NPZ sidecar bytes; **every** read path
+  verifies them before a single byte is decoded, so flipped bits or torn
+  writes can never reach a response.  A failing entry is moved into
+  ``<dir>/quarantine/`` (kept for post-mortems, counted in stats) and the
+  read degrades to a cold miss — never an exception, never bad bytes.
 * **JSON + NPZ blobs** — each entry is ``<kind>-<key>.json`` (the encoded
   value, :mod:`repro.service.serial`) plus an optional ``.npz`` sidecar
   holding large arrays (simulated grids) in binary.
 * **LRU size cap** — reads refresh an entry's mtime; when the tree exceeds
   ``max_bytes`` after a write, least-recently-used entries are evicted until
   it fits (the entry just written is exempt).
+
+Chaos hooks: the ``store.write`` site may corrupt/truncate blob bytes on
+their way to disk and the ``store.read`` site may corrupt manifest bytes on
+their way in — which is exactly what the digest machinery must catch.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 import os
 import tempfile
 import threading
+import time
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.service import faults
+from repro.service.faults import InjectedFault
 from repro.service.serial import UnserialisableValue, decode, encode
 
 __all__ = ["STORE_VERSION", "StoreStats", "ResultStore"]
 
 #: Schema version of the on-disk tree.  Covers the value encoding
-#: (:mod:`repro.service.serial`) *and* the key canonicalisation
-#: (:mod:`repro.study.hashing` — see ``tests/test_hashing_golden.py``):
-#: changing either invalidates every stored key, so bump this.
-STORE_VERSION = 1
+#: (:mod:`repro.service.serial`), the key canonicalisation
+#: (:mod:`repro.study.hashing` — see ``tests/test_hashing_golden.py``) *and*
+#: the manifest layout.  v2 added mandatory content digests.
+STORE_VERSION = 2
 
 #: Default size cap: 256 MiB — generous for result blobs, small enough that
 #: an unattended service cannot eat a disk.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: A ``.tmp`` file this old at startup belongs to a dead writer, not a
+#: concurrent one, and is swept into quarantine.
+STALE_TMP_SECONDS = 60.0
+
+#: Errors that mean "this entry is damaged" (vs. infrastructure trouble).
+_CORRUPTION_ERRORS = (
+    ValueError,
+    KeyError,
+    TypeError,
+    EOFError,
+    UnserialisableValue,
+    zipfile.BadZipFile,
+    json.JSONDecodeError,
+)
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _canonical_value_bytes(encoded: Any) -> bytes:
+    """The digestable form of an encoded value: canonical compact JSON."""
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
 
 @dataclass(frozen=True)
@@ -58,6 +98,8 @@ class StoreStats:
     evictions: int
     entries: int
     bytes: int
+    digest_failures: int = 0
+    quarantined: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -67,6 +109,8 @@ class StoreStats:
             "evictions": self.evictions,
             "entries": self.entries,
             "bytes": self.bytes,
+            "digest_failures": self.digest_failures,
+            "quarantined": self.quarantined,
         }
 
 
@@ -81,6 +125,7 @@ class ResultStore:
     def __init__(self, root: os.PathLike | str, max_bytes: int = DEFAULT_MAX_BYTES):
         self.root = Path(root)
         self.dir = self.root / f"v{STORE_VERSION}"
+        self.quarantine_dir = self.dir / "quarantine"
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = int(max_bytes)
@@ -89,6 +134,10 @@ class ResultStore:
         self._misses = 0
         self._puts = 0
         self._evictions = 0
+        self._digest_failures = 0
+        self._quarantined = 0
+        self._quarantine_seq = 0
+        self._sweep_stale_tmp()
 
     # ------------------------------------------------------------------ #
     # paths
@@ -108,51 +157,113 @@ class ResultStore:
     # load / save
     # ------------------------------------------------------------------ #
     def load(self, kind: str, key_hash: str) -> Tuple[bool, Any]:
-        """``(True, value)`` when the entry exists and decodes; else miss."""
+        """``(True, value)`` when the entry exists, verifies and decodes.
+
+        Misses come in three flavours, all returning ``(False, None)``:
+        the entry simply isn't there; the entry is damaged — digest
+        mismatch, bad JSON, bad NPZ — in which case its files move to
+        ``quarantine/`` first; or an injected ``store.read`` fault ate the
+        read (counted as a miss only, nothing to quarantine).
+        """
         path = self._json_path(kind, key_hash)
         try:
-            payload = json.loads(path.read_text())
+            raw = path.read_bytes()
+        except OSError:
+            return self._miss()
+        try:
+            raw = faults.get().corrupt("store.read", raw, context={"kind": kind})
+        except InjectedFault:
+            return self._miss()
+        try:
+            payload = json.loads(raw.decode("utf-8"))
             if payload.get("schema") != STORE_VERSION:
                 raise ValueError("schema mismatch")
+            digests = payload["digests"]
+            value_digest = _sha256_hex(_canonical_value_bytes(payload["value"]))
+            if value_digest != digests["value"]:
+                return self._digest_failure(kind, key_hash)
             arrays: Optional[Dict[str, np.ndarray]] = None
             if payload.get("sidecar"):
-                with np.load(self._npz_path(kind, key_hash)) as npz:
+                sidecar_raw = self._npz_path(kind, key_hash).read_bytes()
+                if _sha256_hex(sidecar_raw) != digests["sidecar"]:
+                    return self._digest_failure(kind, key_hash)
+                with np.load(io.BytesIO(sidecar_raw)) as npz:
                     arrays = {name: npz[name] for name in npz.files}
             value = decode(payload["value"], arrays)
-        except (OSError, ValueError, KeyError, UnserialisableValue):
-            with self._lock:
-                self._misses += 1
-            return False, None
+        except OSError:
+            # A sidecar vanished (concurrent eviction): a plain miss.
+            return self._miss()
+        except InjectedFault:
+            return self._miss()
+        except _CORRUPTION_ERRORS:
+            return self._quarantine_miss(kind, key_hash)
         self._touch(kind, key_hash)
         with self._lock:
             self._hits += 1
         return True, value
 
+    def _miss(self) -> Tuple[bool, Any]:
+        with self._lock:
+            self._misses += 1
+        return False, None
+
+    def _digest_failure(self, kind: str, key_hash: str) -> Tuple[bool, Any]:
+        with self._lock:
+            self._digest_failures += 1
+        return self._quarantine_miss(kind, key_hash)
+
+    def _quarantine_miss(self, kind: str, key_hash: str) -> Tuple[bool, Any]:
+        self._quarantine_entry(self._stem(kind, key_hash))
+        return self._miss()
+
     def save(self, kind: str, key_hash: str, value: Any) -> bool:
-        """Serialise and atomically place ``value``; ``False`` if it cannot
-        be encoded (the caller keeps it memory-only)."""
+        """Serialise, digest and atomically place ``value``.
+
+        ``False`` when the value cannot be encoded (the caller keeps it
+        memory-only) or when an injected ``store.write`` crash ate the
+        write.  Digests are computed over the *true* bytes before the
+        chaos hook gets a chance to corrupt them on the way to disk —
+        a torn write must be detectable on the next read.
+        """
         arrays: List[np.ndarray] = []
         try:
             encoded = encode(value, arrays)
         except UnserialisableValue:
             return False
         self.dir.mkdir(parents=True, exist_ok=True)
-        if arrays:
-            self._atomic_write_npz(
-                self._npz_path(kind, key_hash),
-                {f"arr_{i}": a for i, a in enumerate(arrays)},
+        injector = faults.get()
+        context = {"kind": kind}
+        try:
+            sidecar_digest: Optional[str] = None
+            if arrays:
+                buffer = io.BytesIO()
+                np.savez(buffer, **{f"arr_{i}": a for i, a in enumerate(arrays)})
+                sidecar_bytes = buffer.getvalue()
+                sidecar_digest = _sha256_hex(sidecar_bytes)
+                self._atomic_write_bytes(
+                    self._npz_path(kind, key_hash),
+                    injector.corrupt("store.write", sidecar_bytes, context=context),
+                )
+            payload = {
+                "schema": STORE_VERSION,
+                "kind": kind,
+                "key": key_hash,
+                "sidecar": bool(arrays),
+                "digests": {
+                    "value": _sha256_hex(_canonical_value_bytes(encoded)),
+                    "sidecar": sidecar_digest,
+                },
+                "value": encoded,
+            }
+            manifest_bytes = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
             )
-        payload = {
-            "schema": STORE_VERSION,
-            "kind": kind,
-            "key": key_hash,
-            "sidecar": bool(arrays),
-            "value": encoded,
-        }
-        self._atomic_write_text(
-            self._json_path(kind, key_hash),
-            json.dumps(payload, sort_keys=True, separators=(",", ":")),
-        )
+            self._atomic_write_bytes(
+                self._json_path(kind, key_hash),
+                injector.corrupt("store.write", manifest_bytes, context=context),
+            )
+        except InjectedFault:
+            return False
         with self._lock:
             self._puts += 1
         self._enforce_cap(keep=self._stem(kind, key_hash))
@@ -165,24 +276,11 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # write helpers
     # ------------------------------------------------------------------ #
-    def _atomic_write_text(self, path: Path, text: str) -> None:
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    def _atomic_write_npz(self, path: Path, arrays: Dict[str, np.ndarray]) -> None:
+    def _atomic_write_bytes(self, path: Path, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, **arrays)
+                handle.write(data)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -199,6 +297,71 @@ class ResultStore:
                 os.utime(path, now)
             except OSError:
                 pass
+
+    # ------------------------------------------------------------------ #
+    # quarantine
+    # ------------------------------------------------------------------ #
+    def _quarantine_entry(self, stem: str) -> None:
+        """Move an entry's files into ``quarantine/`` (best effort).
+
+        Quarantined blobs keep their name plus a sequence suffix so repeated
+        corruption of the same key never overwrites earlier evidence.
+        """
+        moved = False
+        for suffix in (".json", ".npz"):
+            source = self.dir / f"{stem}{suffix}"
+            if not source.exists():
+                continue
+            with self._lock:
+                self._quarantine_seq += 1
+                seq = self._quarantine_seq
+            try:
+                self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                os.replace(source, self.quarantine_dir / f"{stem}.{seq}{suffix}")
+                moved = True
+            except OSError:
+                try:
+                    os.unlink(source)
+                    moved = True
+                except OSError:
+                    pass
+        if moved:
+            with self._lock:
+                self._quarantined += 1
+
+    def _sweep_stale_tmp(self) -> None:
+        """Quarantine ``.tmp`` litter from writers that died mid-write.
+
+        Only files older than :data:`STALE_TMP_SECONDS` move — younger ones
+        may belong to a live concurrent writer about to ``os.replace``.
+        """
+        try:
+            listing = list(self.dir.iterdir())
+        except OSError:
+            return
+        cutoff = time.time() - STALE_TMP_SECONDS
+        for path in listing:
+            if path.suffix != ".tmp":
+                continue
+            try:
+                if path.stat().st_mtime > cutoff:
+                    continue
+                with self._lock:
+                    self._quarantine_seq += 1
+                    seq = self._quarantine_seq
+                self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                os.replace(path, self.quarantine_dir / f"{path.name}.{seq}")
+                with self._lock:
+                    self._quarantined += 1
+            except OSError:
+                continue
+
+    def quarantined_files(self) -> List[str]:
+        """Names currently sitting in ``quarantine/`` (sorted)."""
+        try:
+            return sorted(p.name for p in self.quarantine_dir.iterdir())
+        except OSError:
+            return []
 
     # ------------------------------------------------------------------ #
     # LRU eviction
@@ -254,6 +417,8 @@ class ResultStore:
                 evictions=self._evictions,
                 entries=len(rows),
                 bytes=sum(size for _, _, size in rows),
+                digest_failures=self._digest_failures,
+                quarantined=self._quarantined,
             )
 
     def clear(self) -> None:

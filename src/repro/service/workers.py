@@ -8,11 +8,25 @@ tests).  Workers are long-lived and keep a process-local
 (profiles, estimates) amortise across the jobs a worker sees — the study
 sharding below leans on exactly that.
 
-Fault handling: a worker process dying mid-job breaks the whole
-``ProcessPoolExecutor`` (CPython semantics), so :meth:`WorkerPool.submit`
-detects the broken pool, rebuilds it, and retries the job **once**; a second
-failure surfaces as a structured ``worker-crash`` error rather than an
-exception, keeping one poisoned request from wedging the service.
+Fault handling is layered (:mod:`repro.service.resilience`):
+
+* A worker process dying mid-job breaks the whole ``ProcessPoolExecutor``
+  (CPython semantics); :meth:`WorkerPool.run` rebuilds the pool and retries
+  under a :class:`~repro.service.resilience.RetryPolicy` — exponential
+  backoff with decorrelated jitter, bounded by the per-request budget.
+* Every crash feeds the :class:`~repro.service.resilience.CircuitBreaker`;
+  past its threshold the pool stops fork-rebuilding and degrades to an
+  inline thread executor until the cooldown elapses.
+* Crashes are charged to the request's content key; a key that keeps
+  killing workers is quarantined
+  (:class:`~repro.service.resilience.PoisonQuarantine`) and refused with a
+  structured ``quarantined`` error instead of crash-looping the pool.
+
+Chaos hooks: fault *decisions* for the ``worker.execute`` site are made on
+the submitting side (one process, one counter space — replayable even
+across pool rebuilds and forks) and shipped to the worker as a
+``__fault__`` directive inside the payload; ``pool.submit`` faults fire in
+the submit path itself.
 """
 
 from __future__ import annotations
@@ -20,18 +34,25 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import os
+import random
 import threading
 import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.service import faults
+from repro.service.faults import InjectedCrash
 from repro.service.protocol import ServiceError
+from repro.service.resilience import CircuitBreaker, PoisonQuarantine, RetryPolicy
 from repro.study.cache import EvalCache
 
 __all__ = ["execute_payload", "WorkerPool"]
 
 #: Process-local memo shared by every job one worker executes.
 _WORKER_CACHE = EvalCache()
+
+#: Exceptions that mean "the worker died", not "the job was wrong".
+CRASH_EXCEPTIONS = (BrokenExecutor, InjectedCrash, EOFError, OSError)
 
 
 def worker_cache() -> EvalCache:
@@ -52,11 +73,31 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     ``payload`` is :meth:`repro.service.protocol.Request.to_payload` output —
     already validated, so failures here are execution errors (method/grid
     mismatches, simulation constraints) and are raised as ``ValueError`` /
-    ``KeyError`` for the caller to wrap.
+    ``KeyError`` for the caller to wrap.  A ``__fault__`` directive (attached
+    by the submitting :class:`WorkerPool` under an active fault schedule) is
+    honoured first: a crash directive kills the worker the way a segfault
+    would.
     """
+    directive = payload.get("__fault__")
+    if directive is not None:
+        payload = {k: v for k, v in payload.items() if k != "__fault__"}
+        _apply_fault_directive(directive)
     kind = payload["kind"]
     handler = _HANDLERS[kind]
     return handler(payload)
+
+
+def _apply_fault_directive(directive: Dict[str, Any]) -> None:
+    """Act out one injected fault inside the executing worker."""
+    kind = directive.get("kind")
+    if kind == "delay":
+        time.sleep(float(directive.get("seconds", 0.0)))
+    elif kind == "crash":
+        if directive.get("mode") == "process":
+            # Bypass every handler — the signature of a segfaulted or
+            # OOM-killed worker; the parent sees a BrokenExecutor.
+            os._exit(3)
+        raise InjectedCrash("injected worker crash (inline)")
 
 
 def _compiled_plan(payload: Dict[str, Any]):
@@ -197,26 +238,6 @@ def _execute_study_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
     return {"rows": rows}
 
 
-def _execute_sleep(payload: Dict[str, Any]) -> Dict[str, Any]:
-    time.sleep(payload["seconds"])
-    return {"slept": payload["seconds"], "token": payload.get("token", 0)}
-
-
-def _execute_crash(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Fault injection: die hard on the first attempt, succeed on the retry.
-
-    The marker file records that the first attempt happened; its absence
-    means "crash now".  ``os._exit`` bypasses every handler — exactly the
-    signature of a segfaulted or OOM-killed worker.
-    """
-    marker = payload["marker"]
-    if not os.path.exists(marker):
-        with open(marker, "w") as handle:
-            handle.write("crashed-once\n")
-        os._exit(2)
-    return {"recovered": True}
-
-
 _HANDLERS = {
     "plan": _execute_plan,
     "estimate": _execute_estimate,
@@ -224,8 +245,6 @@ _HANDLERS = {
     "run": _execute_run,
     "study": _execute_study,
     "study-shard": _execute_study_shard,
-    "_sleep": _execute_sleep,
-    "_crash": _execute_crash,
 }
 
 
@@ -233,21 +252,46 @@ _HANDLERS = {
 # the pool
 # --------------------------------------------------------------------------- #
 class WorkerPool:
-    """Job executor with crash recovery and an inline fallback.
+    """Job executor with layered crash resilience and an inline fallback.
 
     ``workers >= 1`` runs jobs on a ``ProcessPoolExecutor`` (``fork`` where
     available, so workers inherit the warm NumPy import); ``workers == 0``
     runs them on a small thread pool in-process — no isolation, but no spawn
     cost either, which is what unit tests and single-user deployments want.
+
+    ``retry``/``breaker``/``quarantine`` default to sensible production
+    policies; tests inject seeded/fake-clock instances plus ``sleep`` /
+    ``async_sleep`` doubles to stay wall-clock-free.
     """
 
-    def __init__(self, workers: int = 2):
+    def __init__(
+        self,
+        workers: int = 2,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        quarantine: Optional[PoisonQuarantine] = None,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        async_sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+    ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = int(workers)
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=2)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.quarantine = quarantine if quarantine is not None else PoisonQuarantine()
+        # Deterministic by default: backoff trajectories replay across runs.
+        self._rng = rng if rng is not None else random.Random(0x5EED)
+        self._sleep = sleep
+        self._async_sleep = async_sleep
         self._lock = threading.Lock()
         self._generation = 0
+        self._rebuilds = 0
+        self._retries = 0
+        self._crashes = 0
+        self._fallback_jobs = 0
         self._executor = self._make_executor()
+        self._fallback: Optional[ThreadPoolExecutor] = None
 
     def _make_executor(self):
         if self.workers == 0:
@@ -258,9 +302,36 @@ class WorkerPool:
             context = multiprocessing.get_context()
         return ProcessPoolExecutor(max_workers=self.workers, mp_context=context)
 
-    def _submit(self, payload: Dict[str, Any]) -> Future:
+    def _fallback_executor(self) -> ThreadPoolExecutor:
+        """The degraded path the breaker fails over to (lazily built)."""
+        if self._fallback is None:
+            self._fallback = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="repro-service-fallback"
+            )
+        return self._fallback
+
+    def _submit(self, payload: Dict[str, Any]) -> Tuple[Future, bool]:
+        """Pick the executor, attach any fault directive, submit.
+
+        Returns ``(future, used_fallback)``.  Both fault sites fire here,
+        on the submitting side, so schedules stay single-counter even with
+        forked workers.
+        """
+        injector = faults.get()
+        injector.inject("pool.submit", context=payload)  # may raise InjectedCrash
         with self._lock:
-            return self._executor.submit(execute_payload, payload)
+            degraded = self.workers > 0 and not self.breaker.allow_primary()
+            executor = self._fallback_executor() if degraded else self._executor
+            mode = "inline" if (self.workers == 0 or degraded) else "process"
+            rule = injector.decide("worker.execute", context=payload)
+            if rule is not None and rule.kind in ("crash", "delay"):
+                payload = dict(
+                    payload,
+                    __fault__={"kind": rule.kind, "seconds": rule.seconds, "mode": mode},
+                )
+            if degraded:
+                self._fallback_jobs += 1
+            return executor.submit(execute_payload, payload), degraded
 
     def _rebuild(self, broken_generation: int) -> None:
         """Replace a broken executor exactly once per breakage."""
@@ -273,60 +344,128 @@ class WorkerPool:
                 pass
             self._executor = self._make_executor()
             self._generation += 1
+            self._rebuilds += 1
 
-    async def run(self, payload: Dict[str, Any], retries: int = 1) -> Dict[str, Any]:
-        """Execute ``payload`` on the pool, retrying once across a crash.
+    # ------------------------------------------------------------------ #
+    # crash bookkeeping shared by the sync and async run loops
+    # ------------------------------------------------------------------ #
+    def _check_quarantine(self, key: Optional[str], payload: Dict[str, Any]) -> None:
+        if key and self.quarantine.is_quarantined(key):
+            raise ServiceError(
+                "quarantined",
+                f"payload {key[:12]}… repeatedly killed workers and is quarantined "
+                f"({payload.get('kind')!r}); it will not be retried",
+                status=422,
+            )
 
-        Raises :class:`ServiceError` (``worker-crash``) when the job kills
-        its worker more times than ``retries`` allows; other exceptions
-        propagate unchanged (they are execution errors, not infrastructure).
+    def _note_crash(self, key: Optional[str], used_fallback: bool, generation: int) -> None:
+        """Rebuild (primary path only), feed the breaker, charge the key."""
+        with self._lock:
+            self._crashes += 1
+        if self.workers > 0 and not used_fallback:
+            self._rebuild(generation)
+        self.breaker.record_failure()
+        if key and self.quarantine.record_crash(key):
+            raise ServiceError(
+                "quarantined",
+                f"payload {key[:12]}… killed its worker "
+                f"{self.quarantine.threshold} time(s) and is now quarantined",
+                status=422,
+            )
+
+    def _crash_error(
+        self, payload: Dict[str, Any], attempt: int, exc: BaseException
+    ) -> ServiceError:
+        return ServiceError(
+            "worker-crash",
+            f"worker died executing {payload.get('kind')!r} "
+            f"({attempt} attempt(s)): {exc!r}",
+            status=500,
+        )
+
+    def _attempt_budget(self, retries: Optional[int]) -> int:
+        # Back-compat: callers passing the old retries=N mean N+1 attempts.
+        return self.retry.max_attempts if retries is None else max(1, int(retries) + 1)
+
+    async def run(
+        self, payload: Dict[str, Any], retries: Optional[int] = None, key: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Execute ``payload`` on the pool under the full resilience policy.
+
+        Raises :class:`ServiceError` ``worker-crash`` when the retry budget
+        is exhausted and ``quarantined`` when the payload's key has crashed
+        workers past the quarantine threshold; other exceptions propagate
+        unchanged (they are execution errors, not infrastructure).
         """
+        self._check_quarantine(key, payload)
+        attempts = self._attempt_budget(retries)
         attempt = 0
+        delay: Optional[float] = None
         while True:
             with self._lock:
                 generation = self._generation
+            used_fallback = False
             try:
-                return await asyncio.wrap_future(self._submit(payload))
-            except (BrokenExecutor, EOFError, OSError) as exc:
-                self._rebuild(generation)
+                future, used_fallback = self._submit(payload)
+                result = await asyncio.wrap_future(future)
+                if not used_fallback:
+                    self.breaker.record_success()
+                return result
+            except CRASH_EXCEPTIONS as exc:
                 attempt += 1
-                if attempt > retries:
-                    raise ServiceError(
-                        "worker-crash",
-                        f"worker died executing {payload.get('kind')!r} "
-                        f"({attempt} attempt(s)): {exc!r}",
-                        status=500,
-                    ) from exc
+                self._note_crash(key, used_fallback, generation)
+                if attempt >= attempts:
+                    raise self._crash_error(payload, attempt, exc) from exc
+                with self._lock:
+                    self._retries += 1
+                delay = self.retry.next_delay(delay, self._rng)
+                await self._async_sleep(delay)
 
-    def run_sync(self, payload: Dict[str, Any], retries: int = 1) -> Dict[str, Any]:
+    def run_sync(
+        self, payload: Dict[str, Any], retries: Optional[int] = None, key: Optional[str] = None
+    ) -> Dict[str, Any]:
         """Blocking form of :meth:`run` for non-async callers (tests, tools)."""
+        self._check_quarantine(key, payload)
+        attempts = self._attempt_budget(retries)
         attempt = 0
+        delay: Optional[float] = None
         while True:
             with self._lock:
                 generation = self._generation
+            used_fallback = False
             try:
-                return self._submit(payload).result()
-            except (BrokenExecutor, EOFError, OSError) as exc:
-                self._rebuild(generation)
+                future, used_fallback = self._submit(payload)
+                result = future.result()
+                if not used_fallback:
+                    self.breaker.record_success()
+                return result
+            except CRASH_EXCEPTIONS as exc:
                 attempt += 1
-                if attempt > retries:
-                    raise ServiceError(
-                        "worker-crash",
-                        f"worker died executing {payload.get('kind')!r} "
-                        f"({attempt} attempt(s)): {exc!r}",
-                        status=500,
-                    ) from exc
+                self._note_crash(key, used_fallback, generation)
+                if attempt >= attempts:
+                    raise self._crash_error(payload, attempt, exc) from exc
+                with self._lock:
+                    self._retries += 1
+                delay = self.retry.next_delay(delay, self._rng)
+                self._sleep(delay)
 
     async def run_study(
-        self, payload: Dict[str, Any], cells: Sequence[Dict[str, Any]], shards: int
+        self,
+        payload: Dict[str, Any],
+        cells: Sequence[Dict[str, Any]],
+        shards: int,
+        key: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Shard a study's cells across the pool and merge rows in order."""
         from repro.service.protocol import shard_cells
 
         chunks = shard_cells(cells, shards)
         if len(chunks) <= 1:
-            return await self.run(dict(payload, kind="study"))
-        jobs = [self.run(dict(payload, kind="study-shard", cells=chunk)) for chunk in chunks]
+            return await self.run(dict(payload, kind="study"), key=key)
+        jobs = [
+            self.run(dict(payload, kind="study-shard", cells=chunk), key=key)
+            for chunk in chunks
+        ]
         merged: List[Optional[Dict[str, Any]]] = [None] * len(cells)
         for shard_result in await asyncio.gather(*jobs):
             for row in shard_result["rows"]:
@@ -336,10 +475,35 @@ class WorkerPool:
         # how many workers happened to split the study.
         return {"rows": rows, "cells": len(rows)}
 
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def resilience_stats(self) -> Dict[str, Any]:
+        """Counters for the ``/v1/stats`` resilience block."""
+        with self._lock:
+            counters = {
+                "rebuilds": self._rebuilds,
+                "retries": self._retries,
+                "crashes": self._crashes,
+                "fallback_jobs": self._fallback_jobs,
+            }
+        return {
+            "pool": counters,
+            "breaker": self.breaker.stats(),
+            "quarantine": self.quarantine.stats(),
+            "retry_policy": {
+                "max_attempts": self.retry.max_attempts,
+                "base_delay": self.retry.base_delay,
+                "max_delay": self.retry.max_delay,
+            },
+        }
+
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
             self._executor.shutdown(wait=wait, cancel_futures=not wait)
+            if self._fallback is not None:
+                self._fallback.shutdown(wait=wait, cancel_futures=not wait)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "inline" if self.workers == 0 else f"{self.workers} processes"
-        return f"WorkerPool({mode})"
+        return f"WorkerPool({mode}, breaker={self.breaker.state})"

@@ -1,0 +1,367 @@
+"""The resilience layer: retry backoff, circuit breaker, poison quarantine.
+
+Unit tests drive the policies through injected clocks and RNGs (years of
+simulated failures, zero real sleeps); the integration tests push seeded
+crash schedules through :class:`WorkerPool` and a full
+:class:`StencilService` — the acceptance scenario is at the bottom: under
+an aggressive worker-crash schedule the breaker opens, the inline fallback
+keeps serving, the poisoned payload is quarantined with a structured
+error, and graceful drain still completes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.service import ServiceConfig, StencilService, faults
+from repro.service.faults import FaultInjector, FaultRule
+from repro.service.protocol import ServiceError, normalize
+from repro.service.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    PoisonQuarantine,
+    RetryPolicy,
+)
+from repro.service.workers import WorkerPool
+
+
+@pytest.fixture(autouse=True)
+def _isolated_injector():
+    yield
+    faults.deactivate()
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for breaker tests."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# --------------------------------------------------------------------------- #
+# RetryPolicy
+# --------------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+    def test_retry_budget(self):
+        assert RetryPolicy(max_attempts=1).retry_budget == 0
+        assert RetryPolicy(max_attempts=4).retry_budget == 3
+
+    def test_delays_stay_within_the_envelope(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=0.05, max_delay=1.0)
+        delays = list(policy.delays(random.Random(7)))
+        assert len(delays) == 9
+        assert all(0.05 <= d <= 1.0 for d in delays)
+
+    def test_decorrelated_jitter_growth_is_bounded_by_3x(self):
+        policy = RetryPolicy(max_attempts=8, base_delay=0.05, max_delay=100.0)
+        previous = None
+        for delay in policy.delays(random.Random(3)):
+            upper = max(policy.base_delay, (previous or policy.base_delay) * 3.0)
+            assert policy.base_delay <= delay <= upper
+            previous = delay
+
+    def test_trajectory_is_a_pure_function_of_the_rng(self):
+        policy = RetryPolicy(max_attempts=6)
+        a = list(policy.delays(random.Random(11)))
+        b = list(policy.delays(random.Random(11)))
+        c = list(policy.delays(random.Random(12)))
+        assert a == b
+        assert a != c
+
+
+# --------------------------------------------------------------------------- #
+# CircuitBreaker
+# --------------------------------------------------------------------------- #
+class TestCircuitBreaker:
+    def _breaker(self, **kw):
+        clock = FakeClock()
+        kw.setdefault("threshold", 3)
+        kw.setdefault("window", 30.0)
+        kw.setdefault("cooldown", 5.0)
+        return CircuitBreaker(clock=clock, **kw), clock
+
+    def test_opens_at_threshold(self):
+        breaker, _ = self._breaker()
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.state == CLOSED and breaker.allow_primary()
+        assert breaker.record_failure() is True
+        assert breaker.state == OPEN and not breaker.allow_primary()
+        assert breaker.stats()["opened"] == 1
+
+    def test_window_prunes_old_failures(self):
+        breaker, clock = self._breaker(threshold=3, window=10.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(11.0)  # both age out of the window
+        assert breaker.record_failure() is False
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_cooldown_then_success_closes(self):
+        breaker, clock = self._breaker(cooldown=5.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow_primary()  # one probe may try the pool
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.stats()["closed"] == 1
+
+    def test_half_open_failure_reopens_with_a_fresh_cooldown(self):
+        breaker, clock = self._breaker(cooldown=5.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.5)
+        assert breaker.state == HALF_OPEN
+        assert breaker.record_failure() is True  # the probe died
+        assert breaker.state == OPEN
+        clock.advance(4.0)
+        assert breaker.state == OPEN  # cooldown restarted at the reopen
+        clock.advance(1.5)
+        assert breaker.state == HALF_OPEN
+        assert breaker.stats()["opened"] == 2
+
+    def test_success_while_closed_is_a_noop(self):
+        breaker, _ = self._breaker()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.stats()["closed"] == 0
+        assert breaker.stats()["failures_in_window"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# PoisonQuarantine
+# --------------------------------------------------------------------------- #
+class TestPoisonQuarantine:
+    def test_threshold_crossing(self):
+        quarantine = PoisonQuarantine(threshold=2)
+        assert quarantine.record_crash("k1") is False
+        assert not quarantine.is_quarantined("k1")
+        assert quarantine.record_crash("k1") is True
+        assert quarantine.is_quarantined("k1")
+        # Once poisoned, every further report short-circuits to True.
+        assert quarantine.record_crash("k1") is True
+        assert quarantine.stats()["quarantined"] == 1
+        assert "k1" in quarantine.stats()["keys"]
+
+    def test_none_key_is_never_tracked(self):
+        quarantine = PoisonQuarantine(threshold=1)
+        assert quarantine.record_crash(None) is False
+        assert not quarantine.is_quarantined(None)
+        assert quarantine.stats()["tracked"] == 0
+
+    def test_capacity_evicts_oldest_counts_not_quarantined_keys(self):
+        quarantine = PoisonQuarantine(threshold=2, capacity=2)
+        quarantine.record_crash("poison")
+        quarantine.record_crash("poison")  # quarantined; leaves the count table
+        for i in range(5):
+            quarantine.record_crash(f"k{i}")
+        stats = quarantine.stats()
+        assert stats["tracked"] == 2  # FIFO-evicted down to capacity
+        assert stats["quarantined"] == 1  # the poisoned key survived growth
+        assert quarantine.is_quarantined("poison")
+        # An evicted key lost its count: one more crash does not quarantine.
+        assert quarantine.record_crash("k0") is False
+
+    def test_clear(self):
+        quarantine = PoisonQuarantine(threshold=1)
+        quarantine.record_crash("a")
+        quarantine.record_crash("b")
+        quarantine.clear("a")
+        assert not quarantine.is_quarantined("a")
+        assert quarantine.is_quarantined("b")
+        quarantine.clear()
+        assert not quarantine.is_quarantined("b")
+
+
+# --------------------------------------------------------------------------- #
+# WorkerPool integration (wall-clock-free via injected sleeps/clock)
+# --------------------------------------------------------------------------- #
+def _payload(m=2, kind="estimate"):
+    return normalize({"kind": kind, "stencil": "1d-heat", "m": m}).to_payload()
+
+
+def _install(rules):
+    return faults.install(FaultInjector(seed=0, rules=rules))
+
+
+class TestWorkerPoolResilience:
+    def test_async_retry_uses_the_async_sleep_and_policy_delays(self):
+        _install([FaultRule("worker.execute", "crash", at=[0])])
+        slept = []
+
+        async def fake_sleep(seconds):
+            slept.append(seconds)
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
+        pool = WorkerPool(0, retry=policy, rng=random.Random(5), async_sleep=fake_sleep)
+        try:
+            result = asyncio.run(pool.run(_payload()))
+        finally:
+            pool.shutdown()
+        assert result["gflops"] > 0
+        expected_first = RetryPolicy(
+            max_attempts=3, base_delay=0.01, max_delay=0.05
+        ).next_delay(None, random.Random(5))
+        assert slept == [expected_first]  # replayable backoff, no real sleep
+
+    def test_quarantine_after_repeated_crashes_on_one_key(self):
+        _install([FaultRule("worker.execute", "crash", every=1)])
+        pool = WorkerPool(
+            0,
+            retry=RetryPolicy(max_attempts=5, base_delay=0.0, max_delay=0.0),
+            quarantine=PoisonQuarantine(threshold=2),
+            sleep=lambda _s: None,
+        )
+        try:
+            with pytest.raises(ServiceError) as info:
+                pool.run_sync(_payload(), key="deadbeefdeadbeef")
+            assert info.value.code == "quarantined"
+            assert info.value.status == 422
+            # The key is refused up front now — no further worker is burned.
+            crashes_before = pool.resilience_stats()["pool"]["crashes"]
+            with pytest.raises(ServiceError) as info2:
+                pool.run_sync(_payload(), key="deadbeefdeadbeef")
+            assert info2.value.code == "quarantined"
+            assert pool.resilience_stats()["pool"]["crashes"] == crashes_before
+        finally:
+            pool.shutdown()
+
+    def test_breaker_opens_and_pool_degrades_to_fallback(self):
+        # Three straight crashes open the breaker; the fourth attempt runs
+        # on the inline fallback executor and succeeds without a rebuild.
+        _install([FaultRule("worker.execute", "crash", at=[0, 1, 2])])
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, window=100.0, cooldown=50.0, clock=clock)
+        pool = WorkerPool(
+            1,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.0, max_delay=0.0),
+            breaker=breaker,
+            sleep=lambda _s: None,
+        )
+        try:
+            result = pool.run_sync(_payload())
+            assert result["gflops"] > 0
+            counters = pool.resilience_stats()["pool"]
+            assert counters["crashes"] == 3
+            assert counters["fallback_jobs"] == 1
+            assert breaker.state == OPEN  # fallback success doesn't close it
+            # While open, fresh jobs keep landing on the fallback.
+            pool.run_sync(_payload(m=4))
+            assert pool.resilience_stats()["pool"]["fallback_jobs"] == 2
+            # Cooldown elapses: the next job probes the (healthy) primary
+            # pool, succeeds, and the breaker closes.
+            clock.advance(51.0)
+            assert breaker.state == HALF_OPEN
+            pool.run_sync(_payload(m=8))
+            assert breaker.state == CLOSED
+            assert pool.resilience_stats()["pool"]["fallback_jobs"] == 2
+        finally:
+            pool.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# the acceptance scenario: aggressive crash schedule, service never wedges
+# --------------------------------------------------------------------------- #
+class TestServiceUnderAggressiveCrashes:
+    def test_breaker_quarantine_fallback_and_drain(self, tmp_path):
+        config = ServiceConfig(
+            workers=1,
+            port=0,
+            store_path=str(tmp_path / "store"),
+            retry_max_attempts=2,
+            retry_base_delay=0.001,
+            retry_max_delay=0.002,
+            breaker_threshold=3,
+            breaker_cooldown=60.0,  # stays open for the whole test
+            quarantine_threshold=2,
+            drain_timeout=10.0,
+            faults={
+                "seed": 7,
+                "rules": [
+                    # The poison pill: every attempt at m=9 kills its worker.
+                    {"site": "worker.execute", "kind": "crash", "every": 1, "where": {"m": 9}},
+                    # One extra crash against m=8 pushes the breaker over.
+                    {
+                        "site": "worker.execute",
+                        "kind": "crash",
+                        "every": 1,
+                        "where": {"m": 8},
+                        "max_fires": 1,
+                    },
+                ],
+            },
+        )
+
+        async def scenario():
+            service = StencilService(config)
+            await service.start()
+            try:
+                poison = {"kind": "estimate", "stencil": "1d-heat", "m": 9}
+                # 1) Poison payload: crashes twice (retry budget 2), hits the
+                #    quarantine threshold, and surfaces the structured error.
+                status, envelope = await service.handle_request(dict(poison))
+                assert status == 422
+                assert envelope["error"]["code"] == "quarantined"
+                # 2) Resubmitting it is refused up front — no more workers die.
+                status, envelope = await service.handle_request(dict(poison))
+                assert status == 422
+                assert envelope["error"]["code"] == "quarantined"
+                # 3) A third crash (m=8, max_fires=1) opens the breaker; the
+                #    retry lands on the inline fallback and still answers 200.
+                status, envelope = await service.handle_request(
+                    {"kind": "estimate", "stencil": "1d-heat", "m": 8}
+                )
+                assert status == 200
+                assert envelope["result"]["gflops"] > 0
+                # 4) With the breaker open, ordinary traffic is served by the
+                #    fallback path — degraded, never wedged.
+                status, envelope = await service.handle_request(
+                    {"kind": "estimate", "stencil": "1d-heat", "m": 3}
+                )
+                assert status == 200
+
+                stats = service.stats_payload()
+                resilience = stats["resilience"]
+                assert resilience["breaker"]["state"] == "open"
+                assert resilience["breaker"]["opened"] == 1
+                assert resilience["pool"]["crashes"] == 3
+                assert resilience["pool"]["fallback_jobs"] >= 1
+                assert resilience["quarantine"]["quarantined"] == 1
+                assert stats["service"]["totals"]["quarantined"] >= 1
+                # Nothing is left hanging: every future resolved above.
+                assert len(service._inflight) == 0
+
+                # 5) Graceful drain completes within its deadline even after
+                #    all that chaos (wait_for guards against a wedged queue).
+                await asyncio.wait_for(service.shutdown(drain=True), timeout=15.0)
+            except BaseException:
+                await service.shutdown(drain=False)
+                raise
+            return service
+
+        service = asyncio.run(scenario())
+        assert service.stats.to_dict()["totals"]["quarantined"] >= 1

@@ -13,9 +13,46 @@ from repro.service.protocol import (
 )
 
 
-def _err(payload, allow_internal=False):
+class TestServiceErrorEnvelope:
+    def test_retry_after_rides_in_the_dict_only_when_set(self):
+        plain = ServiceError("overloaded", "queue full", status=503)
+        assert "retry_after" not in plain.to_dict()
+        hinted = ServiceError("overloaded", "queue full", status=503, retry_after=1.5)
+        assert hinted.to_dict()["retry_after"] == 1.5
+
+
+class TestResilienceStats:
+    def test_stats_payload_exposes_resilience_counters(self, tmp_path):
+        # Satellite of the chaos work: /v1/stats must surface the breaker,
+        # retry, quarantine, store-digest and dispatcher-watchdog counters.
+        from repro.service.server import ServiceConfig, StencilService
+
+        service = StencilService(
+            ServiceConfig(workers=0, store_path=str(tmp_path / "store"), port=0)
+        )
+        try:
+            payload = service.stats_payload()
+            resilience = payload["resilience"]
+            assert resilience["pool"].keys() >= {
+                "rebuilds",
+                "retries",
+                "crashes",
+                "fallback_jobs",
+            }
+            assert resilience["breaker"]["state"] == "closed"
+            assert resilience["breaker"].keys() >= {"threshold", "opened", "closed"}
+            assert resilience["quarantine"].keys() >= {"threshold", "quarantined", "keys"}
+            assert resilience["dispatchers"].keys() >= {"configured", "alive", "restarts"}
+            assert payload["store"].keys() >= {"digest_failures", "quarantined"}
+            assert payload["faults"]["enabled"] is False
+            assert "quarantined" in payload["service"]["totals"]
+        finally:
+            service.pool.shutdown(wait=False)
+
+
+def _err(payload):
     with pytest.raises(ServiceError) as info:
-        normalize(payload, allow_internal=allow_internal)
+        normalize(payload)
     assert info.value.code == "invalid-request"
     assert info.value.status == 400
     return str(info.value)
@@ -31,10 +68,13 @@ class TestValidation:
         for kind in KINDS:
             assert kind in message
 
-    def test_internal_kinds_gated(self):
-        _err({"kind": "_sleep", "seconds": 0.01})
-        request = normalize({"kind": "_sleep", "seconds": 0.01}, allow_internal=True)
-        assert request.kind == "_sleep" and request.expensive
+    def test_retired_kinds_rejected_with_migration_pointer(self):
+        # The hidden _sleep/_crash kinds were replaced by the seeded fault
+        # framework; the rejection tells a stale harness where to go.
+        for kind in ("_sleep", "_crash"):
+            message = _err({"kind": kind})
+            assert "retired" in message
+            assert "fault" in message
 
     def test_unknown_stencil_names_candidates(self):
         assert "1d-heat" in _err({"kind": "plan", "stencil": "nope"})

@@ -3,6 +3,10 @@
 Most tests drive :meth:`StencilService.handle_request` directly on an event
 loop (no sockets, inline workers) — the HTTP layer gets its own end-to-end
 tests at the bottom via :func:`serve_background` and the real client.
+
+Slow jobs are manufactured with the seeded fault framework: a ``delay``
+rule on the ``worker.execute`` site, scoped by ``where`` to one payload
+shape, replaces the retired ``_sleep`` request kind.
 """
 
 from __future__ import annotations
@@ -17,8 +21,16 @@ from repro.service import (
     ServiceClient,
     ServiceConfig,
     StencilService,
+    faults,
     serve_background,
 )
+
+
+@pytest.fixture(autouse=True)
+def _isolated_injector():
+    """ServiceConfig.faults installs process-globally; always clean up."""
+    yield
+    faults.deactivate()
 
 
 def drive(config, scenario):
@@ -35,7 +47,7 @@ def drive(config, scenario):
     return asyncio.run(runner())
 
 
-def _config(tmp_path, **overrides) -> ServiceConfig:
+def _config(tmp_path, rules=(), **overrides) -> ServiceConfig:
     settings = {
         "port": 0,
         "store_path": str(tmp_path / "store"),
@@ -43,13 +55,23 @@ def _config(tmp_path, **overrides) -> ServiceConfig:
         "queue_size": 8,
         "request_timeout": 30.0,
         "drain_timeout": 2.0,
-        "enable_fault_injection": True,
     }
+    if rules:
+        settings["faults"] = {"seed": 0, "rules": list(rules)}
     settings.update(overrides)
     return ServiceConfig(**settings)
 
 
+def _delay(seconds, **where):
+    """A worker-side delay rule scoped to payloads matching ``where``."""
+    return {"site": "worker.execute", "kind": "delay", "seconds": seconds, "where": where}
+
+
 ESTIMATE = {"kind": "estimate", "stencil": "1d-heat", "m": 4}
+
+
+def _estimate(m):
+    return {"kind": "estimate", "stencil": "1d-heat", "m": m}
 
 
 class TestCacheHierarchy:
@@ -105,13 +127,15 @@ class TestCacheHierarchy:
 
 class TestSingleFlight:
     def test_concurrent_identical_requests_coalesce(self, tmp_path):
-        sleep = {"kind": "_sleep", "seconds": 0.3, "token": 1}
+        config = _config(tmp_path, rules=[_delay(0.3, kind="estimate")])
 
         async def scenario(service):
-            results = await asyncio.gather(*(service.handle_request(dict(sleep)) for _ in range(5)))
+            results = await asyncio.gather(
+                *(service.handle_request(_estimate(4)) for _ in range(5))
+            )
             return results, service.stats_payload()
 
-        results, stats = drive(_config(tmp_path), scenario)
+        results, stats = drive(config, scenario)
         assert all(status == 200 for status, _ in results)
         totals = stats["service"]["totals"]
         assert totals["computed"] == 1  # one execution...
@@ -119,64 +143,63 @@ class TestSingleFlight:
         assert totals["completed"] == 5
 
     def test_distinct_requests_do_not_coalesce(self, tmp_path):
+        config = _config(tmp_path, rules=[_delay(0.05, kind="estimate")])
+
         async def scenario(service):
             await asyncio.gather(
-                service.handle_request({"kind": "_sleep", "seconds": 0.05, "token": 1}),
-                service.handle_request({"kind": "_sleep", "seconds": 0.05, "token": 2}),
+                service.handle_request(_estimate(4)),
+                service.handle_request(_estimate(5)),
             )
             return service.stats_payload()
 
-        stats = drive(_config(tmp_path), scenario)
+        stats = drive(config, scenario)
         assert stats["service"]["totals"]["computed"] == 2
         assert stats["service"]["totals"]["deduplicated"] == 0
 
 
 class TestTimeouts:
     def test_waiter_timeout_does_not_poison_the_cell(self, tmp_path):
-        sleep = {"kind": "_sleep", "seconds": 0.5, "token": 9}
+        config = _config(tmp_path, rules=[_delay(0.5, m=6)])
 
         async def scenario(service):
-            status, envelope = await service.handle_request(dict(sleep, timeout=0.1))
+            status, envelope = await service.handle_request(dict(_estimate(6), timeout=0.1))
             assert status == 504 and envelope["error"]["code"] == "timeout"
             # The timed-out cell was released, not poisoned: the identical
             # request computes fresh (with a roomy deadline) and succeeds.
-            return await service.handle_request(dict(sleep))
+            return await service.handle_request(_estimate(6))
 
-        status, envelope = drive(_config(tmp_path), scenario)
+        status, envelope = drive(config, scenario)
         assert status == 200
         assert envelope["served_from"] == "computed"
-        assert envelope["result"]["slept"] == 0.5
 
     def test_rider_timeout_leaves_the_owners_computation_running(self, tmp_path):
-        sleep = {"kind": "_sleep", "seconds": 0.4, "token": 11}
+        config = _config(tmp_path, rules=[_delay(0.4, m=6)])
 
         async def scenario(service):
-            owner = asyncio.create_task(service.handle_request(dict(sleep)))
+            owner = asyncio.create_task(service.handle_request(_estimate(6)))
             await asyncio.sleep(0.05)
-            rider_status, rider_env = await service.handle_request(dict(sleep, timeout=0.1))
+            rider_status, rider_env = await service.handle_request(dict(_estimate(6), timeout=0.1))
             owner_status, owner_env = await owner
             return (rider_status, rider_env), (owner_status, owner_env), service.stats_payload()
 
-        rider, owner, stats = drive(_config(tmp_path), scenario)
+        rider, owner, stats = drive(config, scenario)
         assert rider[0] == 504 and rider[1]["error"]["code"] == "timeout"
-        assert owner[0] == 200 and owner[1]["result"]["slept"] == 0.4
+        assert owner[0] == 200 and owner[1]["served_from"] == "computed"
         assert stats["service"]["totals"]["computed"] == 1
 
     def test_request_expired_in_queue_is_cancelled_cleanly(self, tmp_path):
         # One dispatcher, grinding on a slow job: the queued request's
         # deadline lapses before it is ever picked up.
-        config = _config(tmp_path, concurrency=1)
-        slow = {"kind": "_sleep", "seconds": 0.6, "token": 1}
-        queued = {"kind": "_sleep", "seconds": 0.01, "token": 2}
+        config = _config(tmp_path, rules=[_delay(0.6, m=1)], concurrency=1)
 
         async def scenario(service):
-            grind = asyncio.create_task(service.handle_request(dict(slow)))
+            grind = asyncio.create_task(service.handle_request(_estimate(1)))
             await asyncio.sleep(0.05)
-            status, envelope = await service.handle_request(dict(queued, timeout=0.1))
+            status, envelope = await service.handle_request(dict(_estimate(2), timeout=0.1))
             assert status == 504 and envelope["error"]["code"] == "timeout"
             await grind
             # The expired cell was released: the same request now executes.
-            return await service.handle_request(dict(queued))
+            return await service.handle_request(_estimate(2))
 
         status, envelope = drive(config, scenario)
         assert status == 200
@@ -185,13 +208,15 @@ class TestTimeouts:
 
 class TestBackpressure:
     def test_overload_sheds_instead_of_queueing_forever(self, tmp_path):
-        config = _config(tmp_path, queue_size=1, concurrency=1)
+        config = _config(
+            tmp_path,
+            rules=[_delay(0.4, kind="estimate")],
+            queue_size=1,
+            concurrency=1,
+        )
 
         async def scenario(service):
-            jobs = [
-                service.handle_request({"kind": "_sleep", "seconds": 0.4, "token": i})
-                for i in range(6)
-            ]
+            jobs = [service.handle_request(_estimate(m)) for m in range(1, 7)]
             return await asyncio.gather(*jobs)
 
         results = drive(config, scenario)
@@ -200,9 +225,11 @@ class TestBackpressure:
         assert statuses.count(503) >= 1
         shed = [e for s, e in results if s == 503]
         assert all(e["error"]["code"] == "overloaded" for e in shed)
+        # Load-shedding 503s carry the backoff hint for well-behaved clients.
+        assert all(e["error"]["retry_after"] > 0 for e in shed)
 
     def test_cheap_requests_jump_cold_expensive_jobs(self, tmp_path):
-        config = _config(tmp_path, concurrency=1)
+        config = _config(tmp_path, rules=[_delay(0.3, m=1)], concurrency=1)
 
         async def scenario(service):
             order = []
@@ -214,12 +241,13 @@ class TestBackpressure:
 
             # Occupy the single dispatcher, then enqueue an expensive and a
             # cheap request while it grinds: the cheap one must run first.
-            grind = asyncio.create_task(
-                tagged({"kind": "_sleep", "seconds": 0.3, "token": 0}, "grind")
-            )
+            grind = asyncio.create_task(tagged(_estimate(1), "grind"))
             await asyncio.sleep(0.05)
             expensive = asyncio.create_task(
-                tagged({"kind": "_sleep", "seconds": 0.01, "token": 1}, "expensive")
+                tagged(
+                    {"kind": "simulate", "stencil": "1d-heat", "m": 2, "shape": [64], "steps": 2},
+                    "expensive",
+                )
             )
             await asyncio.sleep(0.01)
             cheap = asyncio.create_task(tagged({"kind": "plan", "stencil": "1d-heat"}, "cheap"))
@@ -240,20 +268,23 @@ class TestValidationAndDraining:
         assert envelope["ok"] is False
         assert envelope["error"]["code"] == "invalid-request"
 
-    def test_fault_kinds_rejected_without_the_flag(self, tmp_path):
-        config = _config(tmp_path, enable_fault_injection=False)
-
+    def test_retired_fault_kinds_are_always_rejected(self, tmp_path):
         async def scenario(service):
-            return await service.handle_request({"kind": "_sleep", "seconds": 0.01})
+            return (
+                await service.handle_request({"kind": "_sleep", "seconds": 0.01}),
+                await service.handle_request({"kind": "_crash", "marker": "x"}),
+            )
 
-        status, envelope = drive(config, scenario)
-        assert status == 400
+        (s1, e1), (s2, e2) = drive(_config(tmp_path), scenario)
+        assert s1 == s2 == 400
+        assert "retired" in e1["error"]["message"]
+        assert "retired" in e2["error"]["message"]
 
     def test_draining_rejects_new_work_and_finishes_old(self, tmp_path):
+        config = _config(tmp_path, rules=[_delay(0.3, m=7)])
+
         async def scenario(service):
-            inflight = asyncio.create_task(
-                service.handle_request({"kind": "_sleep", "seconds": 0.3, "token": 5})
-            )
+            inflight = asyncio.create_task(service.handle_request(_estimate(7)))
             await asyncio.sleep(0.05)
             drain = asyncio.create_task(service.shutdown(drain=True))
             await asyncio.sleep(0.05)
@@ -262,16 +293,17 @@ class TestValidationAndDraining:
             await drain
             return rejected, finished
 
-        (reject_status, reject_env), (done_status, done_env) = drive(_config(tmp_path), scenario)
+        (reject_status, reject_env), (done_status, done_env) = drive(config, scenario)
         assert reject_status == 503
         assert reject_env["error"]["code"] == "draining"
+        assert reject_env["error"]["retry_after"] > 0
         assert done_status == 200
-        assert done_env["result"]["slept"] == 0.3
+        assert done_env["served_from"] == "computed"
 
 
 class TestHttpEndToEnd:
     def test_full_http_round_trip_and_restart(self, tmp_path):
-        config = _config(tmp_path, enable_fault_injection=False)
+        config = _config(tmp_path)
         handle = serve_background(config)
         try:
             client = ServiceClient(handle.base_url)
@@ -290,7 +322,7 @@ class TestHttpEndToEnd:
             handle.stop()
 
         # New process-equivalent life over the same store directory.
-        handle = serve_background(_config(tmp_path, enable_fault_injection=False))
+        handle = serve_background(_config(tmp_path))
         try:
             client = ServiceClient(handle.base_url)
             status, raw_second = client.submit_raw(
@@ -308,7 +340,7 @@ class TestHttpEndToEnd:
             handle.stop()
 
     def test_http_errors(self, tmp_path):
-        handle = serve_background(_config(tmp_path, enable_fault_injection=False))
+        handle = serve_background(_config(tmp_path))
         try:
             client = ServiceClient(handle.base_url)
             status, _ = client.request_raw("GET", "/no/such/route")

@@ -216,3 +216,97 @@ class TestResultStore:
         store.clear()
         assert store.stats.entries == 0
         assert not store.contains("plan", "a")
+
+
+class TestCorruptionQuarantine:
+    """Every damaged-entry shape must read as quarantine + miss — never an
+    exception, never bad bytes served (the store's chaos contract)."""
+
+    def test_bit_flipped_manifest_fails_digest_and_quarantines(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.save("estimate", "k", {"gflops": 12.375, "rows": [1, 2, 3]})
+        path = store._json_path("estimate", "k")
+        blob = bytearray(path.read_bytes())
+        # Flip one bit inside the value payload, leaving the JSON parseable:
+        # only the content digest can catch this.
+        position = blob.index(b"12.375") + 1  # '2' -> '3', still valid JSON
+        blob[position] ^= 0x01
+        path.write_bytes(bytes(blob))
+        found, _ = store.load("estimate", "k")
+        assert not found
+        stats = store.stats
+        assert stats.digest_failures == 1
+        assert stats.quarantined == 1
+        assert not store.contains("estimate", "k")  # moved, not rewritten
+        assert any(name.startswith("estimate-k.") for name in store.quarantined_files())
+
+    def test_truncated_npz_sidecar_quarantines(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        big = np.arange(4096, dtype=np.float64)
+        store.save("simulate", "k", {"values": big})
+        npz = store._npz_path("simulate", "k")
+        raw = npz.read_bytes()
+        npz.write_bytes(raw[: len(raw) // 2])  # torn write
+        found, _ = store.load("simulate", "k")
+        assert not found
+        stats = store.stats
+        assert stats.digest_failures == 1
+        assert stats.quarantined == 1
+        # Both halves of the entry are quarantined together.
+        quarantined = store.quarantined_files()
+        assert any(name.endswith(".json") for name in quarantined)
+        assert any(name.endswith(".npz") for name in quarantined)
+
+    def test_valid_digest_but_undecodable_value_quarantines(self, tmp_path):
+        import hashlib
+        import json as json_module
+
+        store = ResultStore(tmp_path / "store")
+        store.save("plan", "k", {"v": 1})
+        path = store._json_path("plan", "k")
+        payload = json_module.loads(path.read_text())
+        # A self-consistent manifest whose value decodes to garbage: the
+        # digest passes, the decode layer must still degrade safely.
+        payload["value"] = {"__repro__": "no-such-tag"}
+        canonical = json_module.dumps(
+            payload["value"], sort_keys=True, separators=(",", ":")
+        ).encode()
+        payload["digests"]["value"] = hashlib.sha256(canonical).hexdigest()
+        path.write_text(json_module.dumps(payload, sort_keys=True, separators=(",", ":")))
+        found, _ = store.load("plan", "k")
+        assert not found
+        stats = store.stats
+        assert stats.digest_failures == 0  # digests were fine...
+        assert stats.quarantined == 1  # ...the value was not
+
+    def test_stale_tmp_file_is_swept_into_quarantine_on_startup(self, tmp_path):
+        import os
+        import time
+
+        store = ResultStore(tmp_path / "store")
+        store.save("plan", "k", {"v": 1})
+        # A writer died mid-write long ago...
+        stale = store.dir / "plan-dead.json.xyz123.tmp"
+        stale.write_bytes(b"{half a mani")
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        # ...and a fresh one is racing us right now: it must be left alone.
+        racing = store.dir / "plan-live.json.abc456.tmp"
+        racing.write_bytes(b"{half a mani")
+
+        reopened = ResultStore(tmp_path / "store")
+        assert not stale.exists()
+        assert racing.exists()
+        assert reopened.stats.quarantined == 1
+        assert any(".tmp" in name for name in reopened.quarantined_files())
+        # The healthy entry is untouched by the sweep.
+        assert reopened.load("plan", "k") == (True, {"v": 1})
+
+    def test_quarantine_dir_does_not_count_as_entries(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.save("plan", "a", {"v": 1})
+        store.save("plan", "b", {"v": 2})
+        store._json_path("plan", "a").write_bytes(b"garbage")
+        found, _ = store.load("plan", "a")
+        assert not found
+        assert store.stats.entries == 1  # only the healthy entry remains

@@ -1,4 +1,10 @@
-"""The worker tier: job execution, study sharding, crash recovery."""
+"""The worker tier: job execution, study sharding, crash recovery.
+
+Crashes are provoked with the seeded fault framework: a ``crash`` rule on
+the ``worker.execute`` site is decided on the submitting side and shipped
+to the worker as a directive, where process mode turns it into a hard
+``os._exit`` — the real dead-worker signature the pool must survive.
+"""
 
 from __future__ import annotations
 
@@ -8,12 +14,31 @@ import numpy as np
 import pytest
 
 import repro
+from repro.service import faults
+from repro.service.faults import FaultInjector, FaultRule
 from repro.service.protocol import ServiceError, expand_study_cells, normalize
+from repro.service.resilience import RetryPolicy
 from repro.service.workers import WorkerPool, execute_payload
 
 
+@pytest.fixture(autouse=True)
+def _isolated_injector():
+    yield
+    faults.deactivate()
+
+
 def _payload(raw):
-    return normalize(raw, allow_internal=True).to_payload()
+    return normalize(raw).to_payload()
+
+
+def _crash_rules(*specs):
+    """Install worker-crash rules; returns the injector for inspection."""
+    return faults.install(
+        FaultInjector(
+            seed=0,
+            rules=[FaultRule(site="worker.execute", kind="crash", **spec) for spec in specs],
+        )
+    )
 
 
 class TestExecutePayload:
@@ -125,31 +150,53 @@ class TestWorkerPool:
             pool.shutdown()
         assert sharded == unsharded
 
-    def test_crash_is_retried_once_and_succeeds(self, tmp_path):
-        marker = tmp_path / "crash-marker"
-        pool = WorkerPool(1)
+    def test_crash_is_retried_and_succeeds(self):
+        # Crash exactly the first worker.execute invocation: the pool
+        # rebuilds, retries, and the second attempt runs clean.
+        injector = _crash_rules({"at": [0]})
+        pool = WorkerPool(1, sleep=lambda _s: None)
         try:
-            result = pool.run_sync(_payload({"kind": "_crash", "marker": str(marker)}))
-            assert result == {"recovered": True}
-            assert marker.exists()
+            result = pool.run_sync(_payload({"kind": "estimate", "stencil": "1d-heat"}))
+            assert result["gflops"] > 0
             # The rebuilt pool keeps serving ordinary jobs.
-            after = pool.run_sync(_payload({"kind": "estimate", "stencil": "1d-heat"}))
+            after = pool.run_sync(_payload({"kind": "estimate", "stencil": "1d-heat", "m": 8}))
             assert after["gflops"] > 0
+            counters = pool.resilience_stats()["pool"]
+            assert counters["crashes"] == 1
+            assert counters["retries"] == 1
+            assert counters["rebuilds"] == 1
+            assert injector.stats()["injected"]["worker.execute"]["crash"] == 1
         finally:
             pool.shutdown()
 
-    def test_persistent_crash_surfaces_structured_error(self, tmp_path):
-        # A marker under a non-existent directory can never be written, so
-        # the job kills its worker on every attempt.
-        marker = tmp_path / "nowhere" / "deeper" / "marker"
-        pool = WorkerPool(1)
+    def test_persistent_crash_surfaces_structured_error(self):
+        # Every invocation crashes: the retry budget runs out and the
+        # caller gets the structured worker-crash error, not a raw one.
+        _crash_rules({"every": 1})
+        pool = WorkerPool(
+            1,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0),
+            sleep=lambda _s: None,
+        )
         try:
             with pytest.raises(ServiceError) as info:
-                pool.run_sync(_payload({"kind": "_crash", "marker": str(marker)}))
+                pool.run_sync(_payload({"kind": "estimate", "stencil": "1d-heat"}))
         finally:
             pool.shutdown()
         assert info.value.code == "worker-crash"
         assert info.value.status == 500
+
+    def test_inline_pool_crash_directive_does_not_exit_the_process(self):
+        # workers=0 executes on threads; a process-mode exit would kill the
+        # test runner, so inline directives must raise instead.
+        _crash_rules({"at": [0]})
+        pool = WorkerPool(0, sleep=lambda _s: None)
+        try:
+            result = pool.run_sync(_payload({"kind": "estimate", "stencil": "1d-heat"}))
+            assert result["gflops"] > 0
+            assert pool.resilience_stats()["pool"]["retries"] == 1
+        finally:
+            pool.shutdown()
 
     def test_execution_errors_are_not_retried_as_crashes(self):
         pool = WorkerPool(1)
