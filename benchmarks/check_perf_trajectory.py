@@ -34,6 +34,14 @@ must still exist, the artifact must not be empty, and every case's
 kernel-over-interpret speedup must clear the floor (default 5×, matching
 ``benchmarks/test_kernel_speed.py``'s asserted bar).
 
+With ``--autotune BENCH_autotune.json --autotune-baseline <previous>`` the
+gate additionally checks the autotuner-acceptance artifact: every baseline
+case must still exist, the artifact must not be empty, every case's tuned
+configuration must predict at or below the best hand-picked study-table
+configuration (``improvement`` ≥ 1) and the prune stage must keep
+eliminating at least half the space before measurement
+(``pruned_fraction`` ≥ 0.5, matching ``benchmarks/test_autotune.py``).
+
 Absolute seconds are *not* gated — CI machines vary — only the relative
 speedups, count reductions, hit rates and the case coverage, which is what
 "no perf regression in the trajectory" means for a simulated-machine
@@ -62,6 +70,14 @@ MIN_SERVICE_HIT_RATE = 0.75
 #: Minimum kernel-over-interpret speedup, matching
 #: benchmarks/test_kernel_speed.py's asserted floor.
 MIN_KERNEL_SPEEDUP = 5.0
+
+#: Minimum hand-picked-over-tuned predicted-cost ratio, matching
+#: benchmarks/test_autotune.py's asserted floor (tuned must not be worse).
+MIN_AUTOTUNE_IMPROVEMENT = 1.0
+
+#: Minimum share of the search space pruned before measurement, matching
+#: benchmarks/test_autotune.py's asserted floor.
+MIN_AUTOTUNE_PRUNED_FRACTION = 0.5
 
 
 def load_cases(path: Path) -> dict:
@@ -147,6 +163,30 @@ def check_kernel(current: dict, baseline: dict, min_speedup: float) -> list:
     return problems
 
 
+def check_autotune(current: dict, baseline: dict, min_improvement: float) -> list:
+    """Gate violations for the autotune-lineup artifact (empty = holds)."""
+    problems = []
+    for name in sorted(baseline):
+        if name not in current:
+            problems.append(f"autotune case {name!r} present in the baseline has disappeared")
+    if not current:
+        problems.append("autotune artifact has no cases at all")
+    for name, case in sorted(current.items()):
+        improvement = float(case.get("improvement", 0.0))
+        pruned = float(case.get("pruned_fraction", 0.0))
+        if improvement < min_improvement:
+            problems.append(
+                f"autotune case {name!r}: tuned config is {improvement:.3f}x the "
+                f"hand-picked one — below the {min_improvement:.2f}x floor"
+            )
+        if pruned < MIN_AUTOTUNE_PRUNED_FRACTION:
+            problems.append(
+                f"autotune case {name!r}: only {pruned:.2f} of the space pruned "
+                f"before measurement (floor {MIN_AUTOTUNE_PRUNED_FRACTION:.2f})"
+            )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="freshly generated BENCH_simulation.json")
@@ -198,6 +238,27 @@ def main(argv=None) -> int:
         default=MIN_KERNEL_SPEEDUP,
         help=f"minimum kernel-over-interpret speedup (default {MIN_KERNEL_SPEEDUP:.0f})",
     )
+    parser.add_argument(
+        "--autotune",
+        type=Path,
+        default=None,
+        help="freshly generated BENCH_autotune.json (optional)",
+    )
+    parser.add_argument(
+        "--autotune-baseline",
+        type=Path,
+        default=None,
+        help="previous BENCH_autotune.json to compare against",
+    )
+    parser.add_argument(
+        "--min-autotune-improvement",
+        type=float,
+        default=MIN_AUTOTUNE_IMPROVEMENT,
+        help=(
+            "minimum hand-picked-over-tuned predicted-cost ratio "
+            f"(default {MIN_AUTOTUNE_IMPROVEMENT:.2f})"
+        ),
+    )
     args = parser.parse_args(argv)
 
     current = load_cases(args.current)
@@ -228,6 +289,23 @@ def main(argv=None) -> int:
         problems += check_kernel(kernel_current, kernel_baseline, args.min_kernel_speedup)
         for name, case in sorted(kernel_current.items()):
             print(f"  {name}: {float(case.get('speedup', 0.0)):.0f}x kernel speedup")
+
+    if args.autotune is not None:
+        autotune_current = load_cases(args.autotune)
+        autotune_baseline = (
+            load_cases(args.autotune_baseline)
+            if args.autotune_baseline is not None and args.autotune_baseline.exists()
+            else {}
+        )
+        problems += check_autotune(
+            autotune_current, autotune_baseline, args.min_autotune_improvement
+        )
+        for name, case in sorted(autotune_current.items()):
+            print(
+                f"  {name}: tuned {case.get('tuned_method')}/m={case.get('tuned_m')} "
+                f"{float(case.get('improvement', 0.0)):.2f}x hand-picked, "
+                f"{float(case.get('pruned_fraction', 0.0)):.2f} pruned"
+            )
 
     print(f"baseline cases : {', '.join(sorted(baseline)) or '(none)'}")
     print(f"current cases  : {', '.join(sorted(current)) or '(none)'}")

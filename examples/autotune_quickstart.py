@@ -1,0 +1,125 @@
+"""Autotune quickstart: staged search instead of hand-picking a config.
+
+Run with::
+
+    python examples/autotune_quickstart.py
+
+The example walks the staged tuner end to end:
+
+1. search the full ``(method, m, isa, layout)`` space for a benchmark
+   stencil with the one-call API and inspect the winner,
+2. read the prune ledger — every generated candidate is either measured
+   or carries a ``pruned_reason``, so the search is auditable,
+3. pin axes with the fluent builder (``repro.plan(...).method(...)
+   .autotune()``) and round-trip the winner into a runnable
+   ``CompiledPlan``,
+4. rerun the search against a shared ``EvalCache`` and show the second
+   pass performs zero new measurements,
+5. compare the tuned configuration against every hand-picked study-table
+   configuration (each method at ``m=2``) — the acceptance bar CI gates.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro import SearchSpace, TuningWorkload, autotune, machine_for_isa
+from repro.study.cache import EvalCache
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    case = repro.get_benchmark("2d9p")
+    spec = case.spec
+    print(f"Stencil: {spec.name} ({spec.npoints}-point, {spec.dims}-D)")
+
+    # ------------------------------------------------------------------ #
+    # 1. one call searches the whole space; budget = measurements allowed
+    # ------------------------------------------------------------------ #
+    result = autotune(spec, budget=2, repeats=1)
+    w = result.winner
+    print(
+        f"\nWinner: {w.method} / m={w.m} / {w.isa} "
+        f"({w.predicted_cycles_per_point:.3f} predicted cycles/point)"
+    )
+    print(f"Space: {result.generated} candidates generated, "
+          f"{result.measured_count} measured, "
+          f"{result.pruned_count} pruned before measurement "
+          f"({result.pruned_fraction:.0%}).")
+
+    # ------------------------------------------------------------------ #
+    # 2. the prune ledger: nothing disappears silently
+    # ------------------------------------------------------------------ #
+    stats = result.prune_stats()
+    print("\nPrune reasons:")
+    for reason, count in sorted(stats["reasons"].items()):
+        print(f"  {count:3d} x {reason}")
+    rows = [
+        {
+            "rank": rec.rank,
+            "method": rec.method,
+            "m": rec.m,
+            "isa": rec.isa,
+            "predicted c/pt": rec.predicted_cycles_per_point,
+        }
+        for rec in result.best(5)
+    ]
+    print()
+    print(format_table(rows, title="Top five candidates (predicted)"))
+
+    # ------------------------------------------------------------------ #
+    # 3. the fluent builder pins axes; the winner round-trips into a plan
+    # ------------------------------------------------------------------ #
+    pinned = repro.plan(spec).method("folded").isa("avx512").autotune(budget=0)
+    print(f"\nPinned search (folded/avx512 only): best m = {pinned.winner.m} "
+          f"over {pinned.generated} candidates.")
+    compiled = result.plan()
+    grid = case.make_grid((64, 64))
+    compiled.run(grid, 4)
+    print(f"Winner round-trips into a runnable plan: {compiled.method_key} "
+          f"m={compiled.config.unroll} on {compiled.config.isa}.")
+
+    # ------------------------------------------------------------------ #
+    # 4. a shared EvalCache makes the second search measurement-free
+    # ------------------------------------------------------------------ #
+    cache = EvalCache()
+    autotune(spec, budget=2, repeats=1, cache=cache)
+    before = cache.stats_by_kind()["measure"].misses
+    autotune(spec, budget=2, repeats=1, cache=cache)
+    after = cache.stats_by_kind()["measure"]
+    print(f"\nSecond search against the shared cache: "
+          f"{after.misses - before} new measurements, {after.hits} hits.")
+
+    # ------------------------------------------------------------------ #
+    # 5. tuned vs hand-picked — the acceptance bar CI gates
+    # ------------------------------------------------------------------ #
+    workload = TuningWorkload.for_spec(spec)
+    comparison = []
+    for isa in ("avx2", "avx512"):
+        tuned = autotune(
+            spec, budget=0, isas=(isa,), workload=workload, cache=cache
+        ).winner
+        machine = machine_for_isa(isa)
+        hand_picked = []
+        for method in SearchSpace.for_spec(spec).methods:
+            profile = cache.profile(method, spec, isa=isa, m=2)
+            est = cache.multicore(
+                profile, workload.shape, workload.time_steps, machine, 1, spec.radius
+            )
+            hand_picked.append((est.cycles_per_point, method))
+        best_hand, hand_method = min(hand_picked)
+        comparison.append(
+            {
+                "isa": isa,
+                "tuned": f"{tuned.method}/m={tuned.m}",
+                "tuned c/pt": tuned.predicted_cycles_per_point,
+                "hand-picked": f"{hand_method}/m=2",
+                "hand c/pt": best_hand,
+                "improvement": best_hand / tuned.predicted_cycles_per_point,
+            }
+        )
+    print()
+    print(format_table(comparison, title="Tuned vs best hand-picked (study table, m=2)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,15 @@ code-generates the typed IR into one fused megakernel (content-key cached,
 optional numba target) and :mod:`repro.backend.measure` puts its measured
 wall-clock cycles per point next to the cost model's estimate.
 
+Configuration search is first-class too: ``repro.plan(spec).autotune()``
+(or :func:`repro.autotune.autotune`) runs a staged search over
+``(method, m, isa, tiling, pass pipeline, backend)`` — every candidate is
+scored with the IR cost model first, unprofitable ones are pruned with a
+recorded reason, and only the top-K survivors are measured on the kernel
+backend.  The immutable :class:`~repro.autotune.TuneResult` keeps the full
+ranked ledger, so "why was this configuration not chosen" is always one
+lookup away.
+
 Parameter sweeps are first-class: :func:`repro.study` declares an
 experiment grid (method × stencil × ISA × core count × ...), expands the
 cross-product, memoizes the profile/estimate pipeline, optionally fans the
@@ -97,13 +106,21 @@ from repro.trace import (
 )
 from repro.backend import (
     EXECUTION_BACKENDS,
+    ExecutionOptions,
     KernelProgram,
     compile_kernel,
     measure_backend,
     measured_vs_estimated,
 )
+from repro.autotune import (
+    CandidateRecord,
+    SearchSpace,
+    TuneResult,
+    TuningWorkload,
+    autotune,
+)
 
-__version__ = "1.7.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "MachineSpec",
@@ -162,9 +179,15 @@ __all__ = [
     "TraceRecorder",
     "compile_sweep",
     "EXECUTION_BACKENDS",
+    "ExecutionOptions",
     "KernelProgram",
     "compile_kernel",
     "measure_backend",
     "measured_vs_estimated",
+    "autotune",
+    "SearchSpace",
+    "TuningWorkload",
+    "TuneResult",
+    "CandidateRecord",
     "__version__",
 ]

@@ -1,21 +1,41 @@
-"""Parameter search helpers.
+"""Staged configuration autotuning.
 
 The paper tunes its stencil parameters (blocking sizes, unrolling factor) by
-hand and defers automatic tuning to future work; this subpackage provides the
-straightforward model-driven searches a user of the library needs:
+hand and defers automatic tuning to future work; this subpackage is that
+future work: a staged search over the full configuration space
+``(method, m, isa, tiling, pass pipeline, backend)``:
 
-* :mod:`repro.autotune.blocksearch` — pick tessellation block sizes and time
-  range for a stencil/problem/machine combination by scoring candidates with
-  the analytic performance model,
-* :mod:`repro.autotune.foldsearch` — pick the temporal folding factor ``m``
-  by profitability under a register budget (Section 3.2's analysis turned
-  into a search).
+* :mod:`repro.autotune.space` — declarative :class:`SearchSpace` with
+  registry/stencil-derived defaults and deterministic candidate expansion,
+* :mod:`repro.autotune.tuner` — the predict (IR cost model) → prune (pure
+  function of predicted cost) → measure (kernel replay on the top-K)
+  pipeline behind :func:`autotune` and ``repro.plan(spec).autotune()``,
+* :mod:`repro.autotune.result` — the immutable :class:`TuneResult` ledger,
+* :mod:`repro.autotune.blocksearch` / :mod:`repro.autotune.foldsearch` —
+  the deprecated single-axis searches, kept as thin wrappers.
 """
 
 from repro.autotune.blocksearch import BlockSearchResult, search_blocking
 from repro.autotune.foldsearch import FoldSearchResult, search_unroll
+from repro.autotune.result import CandidateRecord, TuneResult
+from repro.autotune.space import (
+    SearchSpace,
+    TuningWorkload,
+    expand_candidates,
+    tiling_candidates,
+)
+from repro.autotune.tuner import OBJECTIVES, PRUNE_RATIO, autotune
 
 __all__ = [
+    "autotune",
+    "SearchSpace",
+    "TuningWorkload",
+    "TuneResult",
+    "CandidateRecord",
+    "OBJECTIVES",
+    "PRUNE_RATIO",
+    "expand_candidates",
+    "tiling_candidates",
     "BlockSearchResult",
     "search_blocking",
     "FoldSearchResult",

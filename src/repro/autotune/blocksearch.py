@@ -1,27 +1,32 @@
-"""Model-driven tessellation block-size search.
+"""Deprecated tessellation block-size search (use the staged tuner).
 
-Enumerates a small grid of candidate block sizes and time ranges, scores
-each with the analytic multicore model and returns the best configuration.
-The search deliberately stays coarse (powers-of-two-ish candidates): the
-performance model is not accurate enough to justify a fine-grained search,
-and the paper itself fixes its blocking sizes per stencil (Table 1).
+:func:`search_blocking` predates the staged tuner; it survives as a thin
+wrapper: the candidate configurations now come from
+:func:`repro.autotune.space.tiling_candidates` (the tuner's tiling axis)
+and each one is scored through the shared
+:class:`~repro.study.cache.EvalCache` multicore path — exactly the predict
+stage :func:`repro.autotune.autotune` runs over a tiling-constrained
+:class:`~repro.autotune.SearchSpace`.  The :class:`BlockSearchResult`
+dataclass stays importable for one release.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-
 from repro.machine import MachineSpec
-from repro.parallel.model import multicore_estimate
 from repro.perfmodel.profiles import MethodProfile
+from repro.study.cache import EvalCache
 from repro.tiling.tessellate import TessellationConfig
+
+__all__ = ["BlockSearchResult", "search_blocking"]
 
 
 @dataclass(frozen=True)
 class BlockSearchResult:
-    """Outcome of a blocking search.
+    """Outcome of the (deprecated) blocking search.
 
     Attributes
     ----------
@@ -38,19 +43,6 @@ class BlockSearchResult:
     candidates: Tuple[Tuple[TessellationConfig, float], ...]
 
 
-def _candidate_blocks(extent: int, radius: int, time_range: int) -> List[int]:
-    """Candidate block sizes for one dimension."""
-    minimum = max(2 * radius * time_range, 8)
-    candidates = []
-    for block in (16, 32, 64, 100, 128, 200, 256, 400, 512, 1000, 2000, 4096):
-        if block < minimum or block > extent:
-            continue
-        candidates.append(block)
-    if not candidates and minimum <= extent:
-        candidates.append(minimum)
-    return candidates
-
-
 def search_blocking(
     profile: MethodProfile,
     grid_shape: Sequence[int],
@@ -60,57 +52,43 @@ def search_blocking(
     time_steps: int = 1000,
     time_ranges: Sequence[int] = (8, 16, 32, 64),
     max_candidates_per_dim: int = 4,
+    cache: Optional[EvalCache] = None,
 ) -> BlockSearchResult:
-    """Search block sizes and time range for one method profile.
+    """Deprecated: search block sizes and time range for one method profile.
 
-    Parameters
-    ----------
-    profile:
-        Steady-state method profile to tile.
-    grid_shape:
-        Spatial problem extents.
-    radius:
-        Stencil radius.
-    machine:
-        Machine description.
-    cores:
-        Core count to optimise for.
-    time_steps:
-        Total time steps (amortisation of layout overheads).
-    time_ranges:
-        Candidate temporal block depths.
-    max_candidates_per_dim:
-        Cap on spatial candidates per dimension to keep the search small.
+    Use ``repro.plan(spec).autotune(tilings=...)`` or
+    :func:`repro.autotune.autotune` — the staged tuner scores tilings
+    together with the method/ISA/unroll axes and records why each candidate
+    was kept or pruned.  This wrapper keeps the profile-based signature:
+    candidates come from :func:`repro.autotune.space.tiling_candidates` and
+    are scored on the tuner's shared cached-estimate path.
     """
+    warnings.warn(
+        "search_blocking() is deprecated; use repro.plan(spec).autotune(tilings=...) "
+        "(repro.autotune.space.tiling_candidates generates the same candidate set)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.autotune.space import tiling_candidates
+
+    cache = cache if cache is not None else EvalCache()
     scored: List[Tuple[TessellationConfig, float]] = []
-    for tr in time_ranges:
-        per_dim: List[List[Optional[int]]] = []
-        feasible = True
-        for extent in grid_shape:
-            cands = _candidate_blocks(int(extent), radius, tr)[:max_candidates_per_dim]
-            if not cands:
-                feasible = False
-                break
-            per_dim.append(list(cands))
-        if not feasible:
-            continue
-        # Use the same relative candidate rank in every dimension to avoid a
-        # combinatorial explosion (block shapes are roughly isotropic for the
-        # paper's stencils).
-        ranks = max(len(c) for c in per_dim)
-        for rank in range(ranks):
-            blocks = tuple(c[min(rank, len(c) - 1)] for c in per_dim)
-            config = TessellationConfig(block_sizes=blocks, time_range=tr)
-            est = multicore_estimate(
-                profile,
-                grid_shape=grid_shape,
-                time_steps=time_steps,
-                machine=machine,
-                cores=cores,
-                radius=radius,
-                tiling=config,
-            )
-            scored.append((config, est.gflops))
+    for config in tiling_candidates(
+        tuple(int(extent) for extent in grid_shape),
+        radius,
+        time_ranges=time_ranges,
+        max_candidates_per_dim=max_candidates_per_dim,
+    ):
+        estimate = cache.multicore(
+            profile,
+            tuple(int(extent) for extent in grid_shape),
+            time_steps,
+            machine,
+            cores,
+            radius,
+            tiling=config,
+        )
+        scored.append((config, estimate.gflops))
     if not scored:
         raise ValueError(
             f"no feasible tessellation configuration for shape {tuple(grid_shape)} "

@@ -1,0 +1,134 @@
+"""``repro-tune`` — staged configuration autotuning from the command line.
+
+Runs :func:`repro.autotune.autotune` over one library stencil and prints the
+:class:`~repro.autotune.TuneResult` ledger as one JSON document::
+
+    repro-tune 2d9p                      # predict-only default search
+    repro-tune 1d-heat --budget 3        # measure the top-3 predictions
+    repro-tune 3d-heat --isas avx512 --methods folded,transpose --m-values 1,2,4
+    repro-tune 2d9p --objective gflops --top 5 --json-indent 0
+
+``--budget 0`` (the default) never executes a kernel: the ranking comes
+entirely from the IR cost model, which is instant and machine-independent.
+A positive budget measures the surviving top-K through the kernel backend
+on this machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Tuple
+
+from repro.autotune.tuner import OBJECTIVES, autotune
+from repro.stencils.library import BENCHMARKS
+
+__all__ = ["main"]
+
+
+def _parse_csv(text: str) -> Tuple[str, ...]:
+    parts = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not parts:
+        raise argparse.ArgumentTypeError(f"invalid list {text!r}; expected e.g. a,b")
+    return parts
+
+
+def _parse_ints(text: str) -> Tuple[int, ...]:
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid list {text!r}; expected e.g. 1,2,4")
+    if not values:
+        raise argparse.ArgumentTypeError(f"invalid list {text!r}; expected e.g. 1,2,4")
+    return values
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tune",
+        description=(
+            "Search (method, m, isa, ...) configurations for one benchmark "
+            "stencil with the staged predict/prune/measure tuner and print "
+            "the ranked ledger as JSON."
+        ),
+    )
+    parser.add_argument(
+        "stencil", metavar="STENCIL", help=f"benchmark key ({', '.join(BENCHMARKS)})"
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=0,
+        metavar="K",
+        help="measure the top-K predicted candidates (default: 0 = predict only)",
+    )
+    parser.add_argument(
+        "--objective", choices=OBJECTIVES, default="cycles_per_point", help="ranking objective"
+    )
+    parser.add_argument(
+        "--isas", type=_parse_csv, default=None, metavar="ISA[,ISA]",
+        help="ISA axis, comma-separated (default: avx2,avx512)",
+    )
+    parser.add_argument(
+        "--methods", type=_parse_csv, default=None, metavar="M[,M...]",
+        help="method axis (default: every tunable registry method)",
+    )
+    parser.add_argument(
+        "--m-values", type=_parse_ints, default=None, metavar="N[,N...]",
+        help="unroll-factor axis (default: 1..4 cut to the ISA's register budget)",
+    )
+    parser.add_argument(
+        "--shape", type=_parse_ints, default=None, metavar="N[,N...]",
+        help="workload grid extents (default: the stencil's benchmark size)",
+    )
+    parser.add_argument(
+        "--time-steps", type=int, default=None, metavar="T",
+        help="workload time steps (default: the stencil's benchmark count)",
+    )
+    parser.add_argument("--cores", type=int, default=1, metavar="N", help="modelled core count")
+    parser.add_argument(
+        "--repeats", type=int, default=3, metavar="N", help="timed repeats per measurement"
+    )
+    parser.add_argument("--seed", type=int, default=0, metavar="S", help="measurement-grid seed")
+    parser.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="only print the N best ledger rows (0 = full ledger)",
+    )
+    parser.add_argument(
+        "--json-indent", type=int, default=2, metavar="N",
+        help="JSON indentation (0 prints one compact line)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: print one TuneResult JSON document."""
+    args = _build_parser().parse_args(list(sys.argv[1:] if argv is None else argv))
+    try:
+        result = autotune(
+            args.stencil,
+            budget=args.budget,
+            objective=args.objective,
+            isas=args.isas,
+            methods=args.methods,
+            m_values=args.m_values,
+            shape=args.shape,
+            time_steps=args.time_steps,
+            cores=args.cores,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    document = result.to_dict()
+    if args.top > 0:
+        document["ledger"] = document["ledger"][: args.top]
+    indent = args.json_indent if args.json_indent > 0 else None
+    print(json.dumps(document, indent=indent, default=str))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,30 +1,36 @@
-"""Unrolling-factor (temporal folding depth) search.
+"""Deprecated single-axis unroll search (use ``repro.plan(spec).autotune()``).
 
-Section 3.2's profitability index rises with ``m`` (more redundant
-arithmetic is folded away) but the folded neighbourhood radius ``m·r`` also
-rises, which increases the number of simultaneously live vectors during
-vertical folding and eventually spills registers — the balance the paper
-describes as "the existing work and straightforward implementation represent
-opposite extremes".  :func:`search_unroll` walks candidate ``m`` values,
-scores them with the analytic performance model (which includes the spill
-penalty through the instruction profile) and returns the best one.
+:func:`search_unroll` predates the staged tuner: it swept the unroll factor
+``m`` alone against the analytic model, silently falling back to the
+closed-form profile for factors whose folded radius exceeds the vector
+length — a ranking that could disagree with the optimized-IR cost the rest
+of the stack reports.  It is now a thin wrapper over
+:func:`repro.autotune.autotune` with a :class:`~repro.autotune.SearchSpace`
+constrained to the ``folded`` method and the caller's candidates: every
+score comes from the IR-backed profile path, and factors with no
+register-level schedule are excluded from the ranking instead of being
+scored on a different model.
+
+The :class:`FoldSearchResult` dataclass stays importable for one release;
+new code should read the richer :class:`~repro.autotune.TuneResult` ledger.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.folding import analyze_folding
-from repro.machine import MachineSpec, machine_for_isa
-from repro.methods import profile_folded
-from repro.perfmodel.costmodel import estimate_performance
+from repro.machine import MachineSpec
 from repro.stencils.spec import StencilSpec
+
+__all__ = ["FoldSearchResult", "search_unroll", "shape_for_npoints"]
 
 
 @dataclass(frozen=True)
 class FoldSearchResult:
-    """Outcome of the unroll-factor search.
+    """Outcome of the (deprecated) unroll-factor search.
 
     Attributes
     ----------
@@ -33,7 +39,9 @@ class FoldSearchResult:
     gflops:
         Modelled single-core GFLOP/s at ``best_m``.
     scores:
-        Modelled GFLOP/s for every candidate ``m``.
+        Modelled GFLOP/s for every rankable candidate ``m`` (factors whose
+        folded radius exceeds the vector length have no IR-backed score and
+        are absent).
     profitability:
         Profitability index ``P(E, E_Λ)`` for every candidate ``m >= 2``.
     """
@@ -44,56 +52,72 @@ class FoldSearchResult:
     profitability: Dict[int, float]
 
 
+def shape_for_npoints(dims: int, npoints: int) -> Tuple[int, ...]:
+    """A ``dims``-dimensional grid shape with approximately ``npoints`` points."""
+    if dims == 1:
+        return (int(npoints),)
+    extent = max(1, round(npoints ** (1.0 / dims)))
+    return tuple([extent] * dims)
+
+
 def search_unroll(
     spec: StencilSpec,
     isa: str = "avx2",
     candidates: Sequence[int] = (1, 2, 3, 4),
     npoints: int = 1 << 22,
     time_steps: int = 1000,
-    machine: MachineSpec | None = None,
+    machine: Optional[MachineSpec] = None,
 ) -> FoldSearchResult:
-    """Pick the temporal folding factor for ``spec`` on ``isa``.
+    """Deprecated: sweep the temporal folding factor for the folded method.
 
-    Parameters
-    ----------
-    spec:
-        Linear stencil to fold (non-linear stencils always return ``m`` = the
-        smallest candidate, since folding does not apply).
-    isa:
-        Target instruction set.
-    candidates:
-        Unroll factors to evaluate.
-    npoints:
-        Problem size used for the model evaluation (memory-resident by
-        default, where folding matters most).
-    time_steps:
-        Total time steps (amortisation).
-    machine:
-        Machine description; defaults to the paper's machine for ``isa``.
+    Use ``repro.plan(spec).method("folded").isa(isa).autotune()`` or
+    :func:`repro.autotune.autotune` with ``methods=("folded",)`` — the
+    staged tuner searches all configuration axes, prunes on predicted cost
+    and can confirm winners with measured kernel replay.
     """
+    warnings.warn(
+        "search_unroll() is deprecated; use repro.plan(spec).autotune() "
+        "(or repro.autotune.autotune(spec, methods=('folded',), ...) for "
+        "the same single-axis sweep)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.autotune.tuner import autotune
+
     if not candidates:
         raise ValueError("at least one candidate unroll factor is required")
-    machine = machine or machine_for_isa(isa)
-    scores: Dict[int, float] = {}
-    profitability: Dict[int, float] = {}
+    factors = sorted({int(m) for m in candidates})
     if not spec.linear:
-        m = min(candidates)
-        profile = profile_folded(spec, isa, m)
-        est = estimate_performance(profile, npoints, time_steps, machine)
-        return FoldSearchResult(
-            best_m=m, gflops=est.gflops, scores={m: est.gflops}, profitability={}
-        )
-    for m in candidates:
-        profile = profile_folded(spec, isa, m)
-        est = estimate_performance(profile, npoints, time_steps, machine)
-        scores[m] = est.gflops
-        if m >= 2:
-            report = analyze_folding(spec, m)
-            profitability[m] = report.profitability_optimized
-    best_m = max(scores, key=scores.get)
+        # A non-linear stencil cannot fold its arithmetic: every factor costs
+        # the same in-register multi-step update, so the sweep degenerates to
+        # the smallest candidate (the historical behaviour).
+        factors = [min(factors)]
+    result = autotune(
+        spec,
+        machine=machine,
+        budget=0,
+        objective="gflops",
+        methods=("folded",),
+        isas=(isa,),
+        m_values=tuple(factors),
+        shape=shape_for_npoints(spec.dims, npoints),
+        time_steps=time_steps,
+    )
+    scores = {
+        record.m: record.predicted_gflops
+        for record in sorted(result.ledger, key=lambda rec: rec.m)
+        if record.predicted_gflops is not None
+    }
+    profitability: Dict[int, float] = {}
+    if spec.linear:
+        for m in factors:
+            if m >= 2:
+                profitability[m] = analyze_folding(spec, m).profitability_optimized
+    winner = result.winner
+    assert winner.predicted_gflops is not None
     return FoldSearchResult(
-        best_m=best_m,
-        gflops=scores[best_m],
+        best_m=winner.m,
+        gflops=winner.predicted_gflops,
         scores=scores,
         profitability=profitability,
     )

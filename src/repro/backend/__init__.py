@@ -40,6 +40,7 @@ __all__ = [
     "EXECUTION_BACKENDS",
     "backend_keys",
     "is_backend",
+    "ExecutionOptions",
     "KernelProgram",
     "compile_kernel",
     "generate_kernel_source",
@@ -79,3 +80,8 @@ def backend_keys() -> Tuple[str, ...]:
 def is_backend(name: str) -> bool:
     """True when ``name`` is a registered execution backend."""
     return name in EXECUTION_BACKENDS
+
+
+# Imported after the registry above so that repro.backend.options can consult
+# backend_keys() from the partially initialised package without a cycle.
+from repro.backend.options import ExecutionOptions  # noqa: E402

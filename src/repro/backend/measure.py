@@ -156,11 +156,12 @@ def measure_backend(
     plan: Any,
     grid: Any,
     steps: int,
-    backend: str = "kernel",
+    backend: Optional[str] = "kernel",
     optimize: Any = False,
     warmup: int = 1,
     repeats: int = 5,
     clock: Optional[Clock] = None,
+    options: Any = None,
 ) -> BackendMeasurement:
     """Measure ``plan.run(grid, steps, backend=backend)`` wall-clock.
 
@@ -168,10 +169,21 @@ def measure_backend(
     schedule lowering, pass pipelines and kernel code generation all hit
     their caches before the first timed sample.  ``steps`` must be positive —
     measuring an empty run says nothing.  ``optimize`` selects the IR pass
-    pipeline of a trace/kernel backend, as in :meth:`CompiledPlan.simulate`.
+    pipeline of a trace/kernel backend, as in :meth:`CompiledPlan.simulate`;
+    ``options`` passes a pre-validated
+    :class:`~repro.backend.ExecutionOptions` instead of the keyword pair.
     """
+    from repro.backend.options import ExecutionOptions
+
     if steps < 1:
         raise ValueError("steps must be >= 1")
+    opts = ExecutionOptions.normalize(
+        backend=None if backend == "kernel" else backend,
+        optimize=optimize,
+        options=options,
+        context="measure",
+    )
+    backend, optimize = opts.backend, opts.optimize
     m = plan.steps_per_update
     fn = lambda: plan.run(grid, steps, backend=backend, optimize=optimize)  # noqa: E731
     measurement = measure_callable(fn, warmup=warmup, repeats=repeats, clock=clock)

@@ -39,6 +39,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backend.options import ExecutionOptions
 from repro.core.folding import ProfitabilityReport, analyze_folding
 from repro.core.vectorized_folding import FoldingSchedule
 from repro.layout.transpose_layout import from_transpose_layout, to_transpose_layout
@@ -101,7 +102,11 @@ class PlanBuilder:
     nothing is validated until :meth:`compile` (the single validation point).
     """
 
-    def __init__(self, spec: Union[StencilSpec, BenchmarkCase, str]):
+    def __init__(
+        self,
+        spec: Union[StencilSpec, BenchmarkCase, str],
+        machine: Optional[MachineSpec] = None,
+    ):
         if isinstance(spec, str):
             spec = get_benchmark(spec).spec
         elif isinstance(spec, BenchmarkCase):
@@ -111,26 +116,33 @@ class PlanBuilder:
                 "plan() expects a StencilSpec, a BenchmarkCase or a benchmark key"
             )
         self._spec = spec
+        self._machine = machine
         self._method = "folded"
         self._isa = "avx2"
         self._unroll = 2
         self._tiling: Optional[TessellationConfig] = None
         self._shifts_reuse = True
         self._workers: Optional[int] = None
+        # Axes the caller pinned explicitly — autotune() keeps those fixed
+        # and searches only the remaining ones.
+        self._explicit: set = set()
 
     def method(self, key: str) -> "PlanBuilder":
         """Select the execution method by registry key."""
         self._method = key.strip().lower()
+        self._explicit.add("method")
         return self
 
     def isa(self, name: str) -> "PlanBuilder":
         """Select the instruction set (``"avx2"`` or ``"avx512"``)."""
         self._isa = name.strip().lower()
+        self._explicit.add("isa")
         return self
 
     def unroll(self, m: int) -> "PlanBuilder":
         """Set the temporal folding factor ``m``."""
         self._unroll = int(m)
+        self._explicit.add("m")
         return self
 
     def tile(
@@ -154,6 +166,7 @@ class PlanBuilder:
             self._tiling = TessellationConfig(
                 block_sizes=tuple(block_sizes), time_range=int(time_range)
             )
+        self._explicit.add("tiling")
         return self
 
     def parallel(self, workers: int = 8) -> "PlanBuilder":
@@ -215,6 +228,47 @@ class PlanBuilder:
         )
         return CompiledPlan(self._spec, config, descriptor, isa_spec)
 
+    def autotune(
+        self,
+        budget: int = 3,
+        objective: str = "cycles_per_point",
+        **kwargs,
+    ):
+        """Staged search over the plan's configuration space.
+
+        Generates every valid ``(method, m, isa, tiling, pipeline, backend)``
+        candidate (axes pinned on this builder — ``.method()``, ``.isa()``,
+        ``.unroll()``, ``.tile()`` — stay fixed), scores each with the IR
+        cost model (predict stage), prunes unprofitable candidates, measures
+        the surviving top-``budget`` through :meth:`CompiledPlan.measure`
+        (measure stage) and returns an immutable
+        :class:`~repro.autotune.TuneResult` — winner plan plus the full
+        ranked ledger.  See :func:`repro.autotune.autotune` for the keyword
+        reference (``space=``, ``workload=``, ``cache=``, ``seed=``, ...).
+        """
+        from repro.autotune.tuner import autotune as _autotune
+
+        if "methods" not in kwargs and "space" not in kwargs and "method" in self._explicit:
+            kwargs["methods"] = (self._method,)
+        if "isas" not in kwargs and "space" not in kwargs and "isa" in self._explicit:
+            kwargs["isas"] = (self._isa,)
+        if "m_values" not in kwargs and "space" not in kwargs and "m" in self._explicit:
+            kwargs["m_values"] = (self._unroll,)
+        if (
+            "tilings" not in kwargs
+            and "space" not in kwargs
+            and "tiling" in self._explicit
+            and self._tiling is not None
+        ):
+            kwargs["tilings"] = (self._tiling,)
+        return _autotune(
+            self._spec,
+            machine=self._machine,
+            budget=budget,
+            objective=objective,
+            **kwargs,
+        )
+
 
 def _describe_simulation_support() -> str:
     """One line naming, per dimensionality, the methods that can simulate it."""
@@ -225,13 +279,19 @@ def _describe_simulation_support() -> str:
     return "simulation-capable methods by dimensionality — " + "; ".join(parts)
 
 
-def plan(spec: Union[StencilSpec, BenchmarkCase, str]) -> PlanBuilder:
+def plan(
+    spec: Union[StencilSpec, BenchmarkCase, str],
+    machine: Optional[MachineSpec] = None,
+) -> PlanBuilder:
     """Start configuring an execution plan for ``spec``.
 
     ``spec`` may be a :class:`StencilSpec`, a :class:`BenchmarkCase` or a
-    benchmark key such as ``"2d9p"``.
+    benchmark key such as ``"2d9p"``.  ``machine`` optionally names the
+    machine model used by :meth:`PlanBuilder.autotune` (per-ISA variants are
+    derived with :func:`repro.machine.isa_variant`); the paper's Xeon Gold
+    6140 is assumed when omitted.
     """
-    return PlanBuilder(spec)
+    return PlanBuilder(spec, machine=machine)
 
 
 class CompiledPlan:
@@ -316,6 +376,8 @@ class CompiledPlan:
         steps: int,
         backend: Optional[str] = None,
         optimize: Union[bool, Sequence, None] = False,
+        passes: Optional[Sequence] = None,
+        options: Optional[ExecutionOptions] = None,
     ) -> np.ndarray:
         """Advance ``grid`` by ``steps`` time steps and return the final values.
 
@@ -335,14 +397,18 @@ class CompiledPlan:
         chosen engine and any ``steps % m`` remainder finishes with exact
         reference steps, so every backend returns bit-identical values.
         ``optimize`` selects the IR pass pipeline of an explicit trace or
-        kernel backend (see :meth:`simulate`); it requires one.
+        kernel backend (see :meth:`simulate`); it requires one.  ``passes``
+        is sugar for ``optimize=<sequence>``; ``options`` passes a
+        pre-validated :class:`~repro.backend.ExecutionOptions` instead of the
+        keyword trio.  All spellings normalize through the same validator.
         """
         if steps < 0:
             raise ValueError("steps must be non-negative")
-        if backend is not None and backend != "auto":
-            return self._run_backend(grid, steps, backend, optimize)
-        if optimize is not False and optimize is not None:
-            raise ValueError("optimize= requires an explicit execution backend")
+        opts = ExecutionOptions.normalize(
+            backend=backend, optimize=optimize, passes=passes, options=options, context="run"
+        )
+        if opts.explicit:
+            return self._run_backend(grid, steps, opts.backend, opts.optimize)
         if steps == 0:
             return grid.values.copy()
         if self.descriptor.executor is not None:
@@ -356,12 +422,11 @@ class CompiledPlan:
         backend: str,
         optimize: Union[bool, Sequence, None] = False,
     ) -> np.ndarray:
-        """Numeric execution forced through one register-level engine."""
-        if backend not in ("trace", "interpret", "kernel"):
-            raise ValueError(
-                f"unknown execution backend {backend!r}; expected 'auto', "
-                "'kernel', 'trace' or 'interpret'"
-            )
+        """Numeric execution forced through one register-level engine.
+
+        ``backend``/``optimize`` arrive pre-validated by
+        :meth:`ExecutionOptions.normalize` in :meth:`run`.
+        """
         if steps == 0:
             return grid.values.copy()
         m = self.steps_per_update
@@ -414,8 +479,10 @@ class CompiledPlan:
         grid: Grid,
         steps: int,
         machine: Optional[SimdMachine] = None,
-        backend: str = "trace",
+        backend: Optional[str] = "trace",
         optimize: Union[bool, Sequence, None] = False,
+        passes: Optional[Sequence] = None,
+        options: Optional[ExecutionOptions] = None,
     ) -> Tuple[np.ndarray, InstructionCounts]:
         """Execute the register-level schedule on the simulated SIMD machine.
 
@@ -463,18 +530,22 @@ class CompiledPlan:
             compiled at most once and cached side by side on the plan;
             pipelines containing custom callables are compiled per call (an
             empty pass selection means "no optimization").
+        passes:
+            Sugar for ``optimize=<sequence>``.
+        options:
+            A pre-validated :class:`~repro.backend.ExecutionOptions`
+            replacing the ``backend``/``optimize``/``passes`` trio.
         """
-        if backend not in ("trace", "interpret", "kernel"):
-            raise ValueError(
-                f"unknown simulation backend {backend!r}; expected 'trace', "
-                "'kernel' or 'interpret'"
-            )
-        if optimize is not True and not optimize:
-            # False, None and an explicitly empty pass sequence all mean "no
-            # optimization" — one spelling, one cache entry.
-            optimize = False
-        if backend == "interpret" and optimize is not False:
-            raise ValueError("optimize= applies to the trace and kernel backends only")
+        # simulate()'s keyword default is its context default; map it to None
+        # so one validator owns the defaulting for every entry point.
+        opts = ExecutionOptions.normalize(
+            backend=None if backend == "trace" else backend,
+            optimize=optimize,
+            passes=passes,
+            options=options,
+            context="simulate",
+        )
+        backend, optimize = opts.backend, opts.optimize
         if not self.descriptor.supports_simulation:
             raise ValueError(
                 f"method {self.config.method!r} does not support simulated execution"
@@ -595,19 +666,40 @@ class CompiledPlan:
                     self._trace_cache[key] = compiled
         return compiled
 
-    def measure(self, grid: Grid, steps: int, backend: str = "kernel", **kwargs):
+    def measure(
+        self,
+        grid: Grid,
+        steps: int,
+        backend: Optional[str] = "kernel",
+        optimize: Union[bool, Sequence, None] = False,
+        passes: Optional[Sequence] = None,
+        options: Optional[ExecutionOptions] = None,
+        **kwargs,
+    ):
         """Measured wall-clock execution of the plan on one backend.
 
         Convenience front end to
         :func:`repro.backend.measure.measure_backend`: warmup + repeated
         timed runs of ``run(grid, steps, backend=backend)``, reported as a
         :class:`~repro.backend.measure.BackendMeasurement` (median seconds,
-        measured cycles per point for any assumed frequency).  Keyword
-        arguments — ``warmup``, ``repeats``, ``clock`` — pass through.
+        measured cycles per point for any assumed frequency).  The
+        ``backend``/``optimize``/``passes``/``options`` spellings validate
+        through :class:`~repro.backend.ExecutionOptions` like :meth:`run`;
+        the remaining keywords — ``warmup``, ``repeats``, ``clock`` — pass
+        through.
         """
         from repro.backend.measure import measure_backend
 
-        return measure_backend(self, grid, steps, backend=backend, **kwargs)
+        opts = ExecutionOptions.normalize(
+            backend=None if backend == "kernel" else backend,
+            optimize=optimize,
+            passes=passes,
+            options=options,
+            context="measure",
+        )
+        return measure_backend(
+            self, grid, steps, backend=opts.backend, optimize=opts.optimize, **kwargs
+        )
 
     def _simulation_schedule(self) -> FoldingSchedule:
         """The folding schedule backing simulated execution.

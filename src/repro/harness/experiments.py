@@ -795,3 +795,95 @@ def measured_vs_estimated(
         ),
         notes=f"m={m}, steps={time_steps}, backend={backend}, repeats={repeats}",
     )
+
+
+# --------------------------------------------------------------------------- #
+# autotune lineup — the staged tuner vs the hand-picked study-table configs
+# --------------------------------------------------------------------------- #
+def autotune_lineup(
+    stencils: Optional[Sequence[str]] = None,
+    machine: Optional[MachineSpec] = None,
+    cache: Optional[EvalCache] = None,
+) -> ExperimentResult:
+    """The staged tuner against every hand-picked study-table configuration.
+
+    The paper (and every experiment above) fixes its configurations by hand:
+    each method at ``m = 2`` on the benchmark's own workload.  This
+    experiment runs :func:`repro.autotune.autotune` (predict-only,
+    ``budget=0`` — the ranking is the IR cost model's, so the rows are
+    machine-independent and deterministic) over every linear library stencil
+    on both ISAs and puts the tuned winner next to the *best* hand-picked
+    config, scored through the same cached estimate path.  The tuned cost
+    must be at or below the hand-picked cost in every row: the tuner's
+    search space contains every hand-picked configuration, so any regression
+    here means the predict stage scores the same configuration differently
+    — exactly the scoring drift the staged redesign removed.
+    """
+    from repro.autotune.space import TuningWorkload
+    from repro.autotune.tuner import autotune
+
+    cache = cache if cache is not None else EvalCache()
+    keys = tuple(stencils) if stencils else tuple(
+        key for key in BENCHMARKS if get_benchmark(key).spec.linear
+    )
+    result = ExperimentResult(
+        name="autotune_lineup",
+        description=(
+            "Tuned configuration vs the best hand-picked study-table config "
+            "(predicted cycles per point, per stencil x ISA)"
+        ),
+        notes="budget=0 (predict-only), hand-picked lineup = each method at m=2",
+    )
+    for key in keys:
+        case = get_benchmark(key)
+        spec = case.spec
+        workload = TuningWorkload.for_spec(spec)
+        for isa in ("avx2", "avx512"):
+            tuned = autotune(
+                spec,
+                machine=machine,
+                budget=0,
+                space=None,
+                workload=workload,
+                cache=cache,
+                isas=(isa,),
+                label=key,
+            )
+            scoring_machine = (
+                machine_for_isa(isa) if machine is None else isa_variant(machine, isa)
+            )
+            hand_picked: List[Tuple[str, float]] = []
+            for method in SEQUENTIAL_METHODS:
+                try:
+                    profile = cache.profile(method, spec, isa=isa, m=2)
+                    estimate = cache.multicore(
+                        profile,
+                        workload.shape,
+                        workload.time_steps,
+                        scoring_machine,
+                        workload.cores,
+                        spec.radius,
+                    )
+                except (KeyError, ValueError):
+                    continue  # method cannot express this stencil
+                hand_picked.append((method, float(estimate.cycles_per_point)))
+            if not hand_picked:
+                continue
+            hand_method, hand_cycles = min(hand_picked, key=lambda pair: pair[1])
+            winner = tuned.winner
+            result.rows.append(
+                {
+                    "benchmark": case.display_name,
+                    "stencil": key,
+                    "isa": isa,
+                    "tuned_method": winner.method,
+                    "tuned_m": winner.m,
+                    "tuned_cycles_per_point": winner.predicted_cycles_per_point,
+                    "hand_picked_method": hand_method,
+                    "hand_picked_cycles_per_point": hand_cycles,
+                    "improvement": hand_cycles / winner.predicted_cycles_per_point,
+                    "candidates": tuned.generated,
+                    "pruned_fraction": tuned.pruned_fraction,
+                }
+            )
+    return result

@@ -34,6 +34,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.harness.experiments import (
     ExperimentResult,
+    autotune_lineup,
     collects_analysis,
     dims3,
     figure8,
@@ -62,6 +63,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "dims3": dims3,
     "pass_ablation": pass_ablation,
     "measured_vs_estimated": measured_vs_estimated,
+    "autotune_lineup": autotune_lineup,
 }
 
 

@@ -286,6 +286,30 @@ def method_keys() -> Tuple[str, ...]:
     return tuple(d.key for d in ordered)
 
 
+def tunable_method_keys(linear: Optional[bool] = None) -> Tuple[str, ...]:
+    """Keys of the line-up methods an autotuner can both score and compile.
+
+    The default method axis of :class:`repro.autotune.SearchSpace`: figure-order
+    methods with a profile builder, excluding model-only (``profile_only``) and
+    label-only (``virtual``) entries.  With ``linear=False`` the methods whose
+    numeric path requires a linear stencil are dropped as well.
+    """
+    ordered = sorted(
+        (
+            d
+            for d in _REGISTRY.values()
+            if d.figure_order is not None
+            and d.profile_builder is not None
+            and not d.profile_only
+            and not d.virtual
+        ),
+        key=lambda d: d.figure_order,
+    )
+    if linear is False:
+        ordered = [d for d in ordered if not d.requires_linear]
+    return tuple(d.key for d in ordered)
+
+
 def registered_keys() -> Tuple[str, ...]:
     """Every registered key (including virtual labels), in registration order."""
     return tuple(_REGISTRY)

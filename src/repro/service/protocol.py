@@ -16,6 +16,13 @@ onto the plan API's verbs:
 ``study``
     A declarative sweep (axes of method/isa/unroll) evaluated cell-by-cell;
     the server shards the cross-product across its worker pool.
+``tune``
+    A staged autotuning search (:mod:`repro.autotune`): the candidate list
+    is sharded across the worker pool for the predict stage, the prune
+    stage runs as a pure function on the merged rows, and the surviving
+    top-``budget`` candidates are measured in one worker job.  The response
+    is the :meth:`repro.autotune.TuneResult.to_dict` ledger, cached by the
+    request's ``config_hash`` key like every other kind.
 
 :func:`normalize` validates a raw payload against the method registry and
 the benchmark library **before** it costs a queue slot, fills defaults, and
@@ -44,6 +51,7 @@ __all__ = [
     "Request",
     "normalize",
     "expand_study_cells",
+    "expand_tune_candidates",
     "shard_cells",
 ]
 
@@ -52,7 +60,7 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Public request kinds, cheap → expensive.
-KINDS = ("plan", "estimate", "simulate", "run", "study")
+KINDS = ("plan", "estimate", "simulate", "run", "study", "tune")
 
 #: Former hidden fault-injection kinds, replaced by the seeded
 #: :mod:`repro.service.faults` framework.  Rejected with a pointed message
@@ -61,7 +69,7 @@ RETIRED_KINDS = ("_sleep", "_crash")
 
 #: Kinds whose cold execution is heavyweight (full grid sweeps): they queue
 #: behind cheap analysis requests at the same arrival time.
-EXPENSIVE_KINDS = frozenset({"simulate", "run", "study"})
+EXPENSIVE_KINDS = frozenset({"simulate", "run", "study", "tune"})
 
 ISAS = ("avx2", "avx512")
 
@@ -235,7 +243,7 @@ def _normalize_estimate(params: Mapping[str, Any]) -> Dict[str, Any]:
 
 
 def _normalize_simulate(params: Mapping[str, Any]) -> Dict[str, Any]:
-    return {
+    out = {
         "stencil": _stencil_field(params),
         "method": _method_field(params, executable=True),
         "isa": _isa_field(params),
@@ -246,6 +254,18 @@ def _normalize_simulate(params: Mapping[str, Any]) -> Dict[str, Any]:
         "optimize": _bool_field(params, "optimize", False),
         "backend": _backend_field(params, default="trace", allow_auto=False),
     }
+    # Cross-field validation mirrors the plan API exactly: the combinations
+    # CompiledPlan.simulate() rejects (e.g. optimize on the interpret
+    # backend) fail here, before the request costs a queue slot.
+    from repro.backend.options import ExecutionOptions
+
+    try:
+        ExecutionOptions.normalize(
+            backend=out["backend"], optimize=out["optimize"], context="simulate"
+        )
+    except ValueError as exc:
+        raise _invalid(str(exc)) from None
+    return out
 
 
 def _normalize_run(params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -301,12 +321,75 @@ def _normalize_study(params: Mapping[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _normalize_tune(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.autotune.space import SearchSpace, default_workload_shape
+    from repro.autotune.tuner import OBJECTIVES
+
+    stencil = _stencil_field(params)
+    spec = get_benchmark(stencil).spec
+
+    isas_raw = params.get("isas", list(ISAS))
+    if not isinstance(isas_raw, (list, tuple)) or not isas_raw:
+        raise _invalid("'isas' must be a non-empty list")
+    requested = {_isa_field({"isa": value}) for value in isas_raw}
+    isas = [isa for isa in ISAS if isa in requested]
+
+    # Registry-/stencil-derived defaults for the method and unroll axes come
+    # from the same SearchSpace the tuner itself would build, so a bare
+    # {"kind": "tune", "stencil": ...} request is a full default search.
+    defaults = SearchSpace.for_spec(spec, isas=tuple(isas))
+    methods_raw = params.get("methods", list(defaults.methods))
+    if not isinstance(methods_raw, (list, tuple)) or not methods_raw:
+        raise _invalid("'methods' must be a non-empty list")
+    methods = []
+    for value in methods_raw:
+        method = _method_field({"method": value}, executable=False)
+        if method not in methods:
+            methods.append(method)
+
+    m_raw = params.get("m_values", list(defaults.m_values))
+    if not isinstance(m_raw, (list, tuple)) or not m_raw:
+        raise _invalid("'m_values' must be a non-empty list")
+    m_values = sorted({_int_field({"m": value}, "m", None, 1) for value in m_raw})
+
+    budget = _int_field(params, "budget", 0, 0)
+    if budget > 8:
+        raise _invalid("'budget' must be <= 8 (measured candidates per request)")
+    objective = _str_field(params, "objective", "cycles_per_point")
+    if objective not in OBJECTIVES:
+        raise _invalid(f"'objective' must be one of {OBJECTIVES}")
+
+    shape = (
+        _shape_field(params)
+        if "shape" in params
+        else list(default_workload_shape(spec.dims))
+    )
+    if len(shape) != spec.dims:
+        raise _invalid(
+            f"'shape' must have {spec.dims} extents for stencil {stencil!r}"
+        )
+    return {
+        "stencil": stencil,
+        "isas": isas,
+        "methods": methods,
+        "m_values": m_values,
+        "budget": budget,
+        "objective": objective,
+        "shape": shape,
+        "time_steps": _int_field(params, "time_steps", 1000, 1),
+        "cores": _int_field(params, "cores", 1, 1),
+        "repeats": _int_field(params, "repeats", 3, 1),
+        "seed": _int_field(params, "seed", 0, 0),
+    }
+
+
 _NORMALIZERS = {
     "plan": _normalize_plan,
     "estimate": _normalize_estimate,
     "simulate": _normalize_simulate,
     "run": _normalize_run,
     "study": _normalize_study,
+    "tune": _normalize_tune,
 }
 
 
@@ -355,6 +438,19 @@ def expand_study_cells(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
         {"index": i, **{k: cell.get(k, defaults[k]) for k in _STUDY_AXES}}
         for i, cell in enumerate(cells)
     ]
+
+
+def expand_tune_candidates(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """The tune request's deterministic candidate list (predict-stage units).
+
+    Rebuilt identically on the server and in any worker from the normalized
+    params alone, so shards can be merged back by candidate ``index``.
+    """
+    from repro.autotune.space import expand_candidates
+    from repro.autotune.tuner import space_from_params
+
+    spec, space, _ = space_from_params(params)
+    return expand_candidates(spec, space)
 
 
 def shard_cells(cells: Sequence[Dict[str, Any]], shards: int) -> List[List[Dict[str, Any]]]:

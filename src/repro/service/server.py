@@ -44,7 +44,13 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.service import faults, serial
 from repro.service.faults import FaultInjector
-from repro.service.protocol import Request, ServiceError, expand_study_cells, normalize
+from repro.service.protocol import (
+    Request,
+    ServiceError,
+    expand_study_cells,
+    expand_tune_candidates,
+    normalize,
+)
 from repro.service.resilience import CircuitBreaker, PoisonQuarantine, RetryPolicy
 from repro.service.scheduling import AdmissionQueue, ServiceStats, classify_priority
 from repro.service.store import DEFAULT_MAX_BYTES, STORE_VERSION, ResultStore
@@ -441,13 +447,19 @@ class StencilService:
             future.set_result((result, "computed"))
 
     async def _compute(self, request: Request) -> Dict[str, Any]:
-        """Run the request on the worker tier (sharding studies)."""
+        """Run the request on the worker tier (sharding studies and tunes)."""
+        shards = self.pool.workers if self.pool.workers > 0 else 1
         if request.kind == "study":
             cells = expand_study_cells(request.params)
-            shards = self.pool.workers if self.pool.workers > 0 else 1
             if shards > 1 and len(cells) > 1:
                 return await self.pool.run_study(
                     dict(request.to_payload()), cells, shards, key=request.key
+                )
+        if request.kind == "tune":
+            candidates = expand_tune_candidates(request.params)
+            if shards > 1 and len(candidates) > 1:
+                return await self.pool.run_tune(
+                    dict(request.to_payload()), candidates, shards, key=request.key
                 )
         return await self.pool.run(request.to_payload(), key=request.key)
 

@@ -238,6 +238,29 @@ def _execute_study_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
     return {"rows": rows}
 
 
+def _execute_tune(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """A whole staged search in one worker (the server shards when it can)."""
+    from repro.autotune.tuner import execute_tune_payload
+
+    return execute_tune_payload(payload, _WORKER_CACHE)
+
+
+def _execute_tune_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Predict stage over one chunk of a tune's candidates (internal kind)."""
+    from repro.autotune.tuner import predict_candidate_rows
+
+    rows = predict_candidate_rows(payload, payload["candidates"], _WORKER_CACHE)
+    return {"rows": rows}
+
+
+def _execute_tune_measure(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Measure stage over the pruned selection (internal kind, one job)."""
+    from repro.autotune.tuner import measure_ledger_rows
+
+    rows = measure_ledger_rows(payload, payload["rows"], _WORKER_CACHE)
+    return {"rows": rows}
+
+
 _HANDLERS = {
     "plan": _execute_plan,
     "estimate": _execute_estimate,
@@ -245,6 +268,9 @@ _HANDLERS = {
     "run": _execute_run,
     "study": _execute_study,
     "study-shard": _execute_study_shard,
+    "tune": _execute_tune,
+    "tune-shard": _execute_tune_shard,
+    "tune-measure": _execute_tune_measure,
 }
 
 
@@ -474,6 +500,45 @@ class WorkerPool:
         # Same shape as the unsharded path: the response must not depend on
         # how many workers happened to split the study.
         return {"rows": rows, "cells": len(rows)}
+
+    async def run_tune(
+        self,
+        payload: Dict[str, Any],
+        candidates: Sequence[Dict[str, Any]],
+        shards: int,
+        key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Run the staged search with the predict stage sharded over the pool.
+
+        The prune stage is a pure function of the merged predicted rows, so
+        it runs here on the submitting side; the surviving selection (at most
+        ``budget`` rows) is measured in a single worker job to keep timing
+        off the event loop.  The assembled response is byte-identical in
+        shape to the unsharded ``tune`` handler's.
+        """
+        from repro.autotune.tuner import assemble_tune_response, prune_rows
+        from repro.service.protocol import shard_cells
+
+        chunks = shard_cells(candidates, shards)
+        if len(chunks) <= 1:
+            return await self.run(dict(payload, kind="tune"), key=key)
+        jobs = [
+            self.run(dict(payload, kind="tune-shard", candidates=chunk), key=key)
+            for chunk in chunks
+        ]
+        merged: List[Optional[Dict[str, Any]]] = [None] * len(candidates)
+        for shard_result in await asyncio.gather(*jobs):
+            for row in shard_result["rows"]:
+                merged[row["index"]] = row
+        rows = [row for row in merged if row is not None]
+        selected = prune_rows(rows, int(payload["budget"]), payload["objective"])
+        if selected:
+            measured = await self.run(
+                dict(payload, kind="tune-measure", rows=selected), key=key
+            )
+            by_index = {row["index"]: row for row in measured["rows"]}
+            rows = [by_index.get(row["index"], row) for row in rows]
+        return assemble_tune_response(payload, rows)
 
     # ------------------------------------------------------------------ #
     # observability

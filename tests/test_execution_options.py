@@ -1,0 +1,145 @@
+"""The unified backend=/optimize=/passes= trio (:class:`ExecutionOptions`).
+
+Historically ``CompiledPlan.run``/``simulate``/``measure`` each validated
+the execution keywords separately; they now all normalize through one
+validator.  These tests pin the contract: per-context defaults, the
+historical error messages, the old keyword spellings, and the new
+``options=``/``passes=`` forms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.backend.options import ExecutionOptions
+from repro.core.plan import plan
+from repro.stencils.grid import Grid
+
+
+class TestNormalize:
+    def test_context_defaults(self):
+        assert ExecutionOptions.normalize(context="run").backend == "auto"
+        assert ExecutionOptions.normalize(context="simulate").backend == "trace"
+        assert ExecutionOptions.normalize(context="measure").backend == "kernel"
+
+    def test_unknown_context(self):
+        with pytest.raises(ValueError, match="unknown execution context"):
+            ExecutionOptions.normalize(context="frobnicate")
+
+    def test_backend_spelling_is_normalized(self):
+        opts = ExecutionOptions.normalize(backend="  Kernel ", context="run")
+        assert opts.backend == "kernel"
+        assert opts.explicit
+
+    def test_unknown_backend_messages_keep_the_context_noun(self):
+        with pytest.raises(ValueError, match="unknown execution backend 'jit'"):
+            ExecutionOptions.normalize(backend="jit", context="run")
+        with pytest.raises(ValueError, match="unknown simulation backend 'auto'"):
+            ExecutionOptions.normalize(backend="auto", context="simulate")
+
+    def test_optimize_requires_an_explicit_backend(self):
+        with pytest.raises(ValueError, match="requires an explicit execution backend"):
+            ExecutionOptions.normalize(optimize=True, context="run")
+        with pytest.raises(ValueError, match="trace and kernel backends only"):
+            ExecutionOptions.normalize(backend="interpret", optimize=True, context="run")
+
+    def test_passes_is_sugar_for_optimize(self):
+        opts = ExecutionOptions.normalize(
+            backend="trace", passes=["fold_constants"], context="simulate"
+        )
+        assert opts.optimize == ("fold_constants",)
+        with pytest.raises(ValueError, match="either optimize= or passes="):
+            ExecutionOptions.normalize(
+                backend="trace", optimize=True, passes=["x"], context="simulate"
+            )
+
+    def test_falsy_optimize_spellings_collapse_to_false(self):
+        for spelling in (False, None, (), []):
+            opts = ExecutionOptions.normalize(
+                backend="trace", optimize=spelling, context="simulate"
+            )
+            assert opts.optimize is False
+
+    def test_options_object_is_revalidated_and_exclusive(self):
+        opts = ExecutionOptions(backend="kernel", optimize=True)
+        again = ExecutionOptions.normalize(options=opts, context="measure")
+        assert again == opts
+        with pytest.raises(ValueError, match="not both"):
+            ExecutionOptions.normalize(options=opts, backend="trace", context="run")
+        # Re-validation applies the target context's rules: an options object
+        # carrying "auto" is rejected where simulate would reject the keyword.
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            ExecutionOptions.normalize(
+                options=ExecutionOptions(backend="auto"), context="simulate"
+            )
+
+    def test_allowed_backends_lead_with_the_default(self):
+        assert ExecutionOptions.allowed_backends("run")[0] == "auto"
+        assert ExecutionOptions.allowed_backends("simulate")[0] == "trace"
+        assert "auto" not in ExecutionOptions.allowed_backends("simulate")
+        assert ExecutionOptions.allowed_backends("measure")[0] == "kernel"
+
+    def test_to_dict_is_json_ready(self):
+        def my_pass(ir):  # pragma: no cover - never invoked
+            return ir
+
+        opts = ExecutionOptions.normalize(
+            backend="kernel", passes=[my_pass, "fold"], context="measure"
+        )
+        assert opts.to_dict() == {"backend": "kernel", "optimize": ["my_pass", "fold"]}
+
+    def test_exported_from_the_package_root(self):
+        assert repro.ExecutionOptions is ExecutionOptions
+
+
+class TestPlanEntryPoints:
+    """The plan verbs accept both the old keywords and options= objects."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        case = repro.get_benchmark("1d-heat")
+        return plan(case.spec).method("folded").isa("avx2").unroll(2).compile()
+
+    def test_run_rejects_unknown_backend_with_the_historical_message(self, compiled):
+        grid = Grid.random((256,), seed=0)
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            compiled.run(grid, 2, backend="jit")
+
+    def test_simulate_rejects_auto_and_interpret_optimize(self, compiled):
+        grid = Grid.random((256,), seed=0)
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            compiled.simulate(grid, 2, backend="auto")
+        with pytest.raises(ValueError, match="trace and kernel backends only"):
+            compiled.simulate(grid, 2, backend="interpret", optimize=True)
+
+    def test_options_object_matches_keywords(self, compiled):
+        grid = Grid.random((256,), seed=0)
+        by_keyword = compiled.run(grid, 2, backend="trace")
+        by_options = compiled.run(
+            Grid.random((256,), seed=0), 2, options=ExecutionOptions(backend="trace")
+        )
+        assert (by_keyword == by_options).all()
+
+    def test_passes_keyword_reaches_the_simulation(self, compiled):
+        grid = Grid.random((256,), seed=0)
+        default_values, _ = compiled.simulate(grid, 2, optimize=True)
+        passes_values, _ = compiled.simulate(
+            Grid.random((256,), seed=0), 2, passes=repro.DEFAULT_PASSES
+        )
+        assert (default_values == passes_values).all()
+
+    def test_measure_normalizes_through_the_same_validator(self, compiled):
+        grid = Grid.random((256,), seed=0)
+        with pytest.raises(ValueError, match="trace and kernel backends only"):
+            compiled.measure(grid, 2, backend="interpret", optimize=True)
+
+
+class TestServiceCrossCheck:
+    def test_simulate_requests_reject_interpret_optimize(self):
+        from repro.service.protocol import ServiceError, normalize
+
+        base = {"kind": "simulate", "stencil": "1d-heat", "shape": [64], "steps": 1}
+        assert normalize({**base, "backend": "interpret"}).params["backend"] == "interpret"
+        with pytest.raises(ServiceError, match="trace and kernel"):
+            normalize({**base, "backend": "interpret", "optimize": True})

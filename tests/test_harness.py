@@ -181,6 +181,7 @@ class TestCollectsAndRunner:
             "dims3",
             "pass_ablation",
             "measured_vs_estimated",
+            "autotune_lineup",
         }
         result = run_experiment("collects")
         assert result.name == "collects"

@@ -1,0 +1,176 @@
+"""The service's ``tune`` kind: validation, sharding equivalence, caching.
+
+The tune request threads the staged tuner through the worker tier: predict
+jobs are sharded over the candidate list, the prune stage runs server-side
+as a pure function, and the selection is measured in one job.  The response
+must not depend on how the pool happened to split the work — the sharded
+and unsharded paths are compared literally — and it is cached under the
+request's canonical key like every other kind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.protocol import (
+    EXPENSIVE_KINDS,
+    KINDS,
+    ServiceError,
+    expand_tune_candidates,
+    normalize,
+)
+from repro.service.server import ServiceConfig, StencilService
+
+
+def drive(config, scenario):
+    """Run ``scenario(service)`` against a started service on a fresh loop."""
+
+    async def runner():
+        service = StencilService(config)
+        await service.start()
+        try:
+            return await scenario(service)
+        finally:
+            await service.shutdown(drain=False)
+
+    return asyncio.run(runner())
+
+
+def _config(tmp_path, **overrides) -> ServiceConfig:
+    settings = {
+        "port": 0,
+        "store_path": str(tmp_path / "store"),
+        "workers": 0,
+        "queue_size": 8,
+        "request_timeout": 60.0,
+        "drain_timeout": 2.0,
+    }
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+TUNE = {"kind": "tune", "stencil": "1d-heat", "budget": 0}
+
+
+def _err(payload):
+    with pytest.raises(ServiceError) as info:
+        normalize(payload)
+    assert info.value.code == "invalid-request"
+    return str(info.value)
+
+
+class TestNormalization:
+    def test_tune_is_a_known_expensive_kind(self):
+        assert "tune" in KINDS
+        assert "tune" in EXPENSIVE_KINDS
+        assert normalize(TUNE).expensive
+
+    def test_defaults_derive_from_the_search_space(self):
+        params = normalize(TUNE).params
+        assert params["isas"] == ["avx2", "avx512"]
+        assert "folded" in params["methods"]
+        assert params["m_values"] == [1, 2, 3, 4]
+        assert params["budget"] == 0
+        assert params["objective"] == "cycles_per_point"
+        assert len(params["shape"]) == 1  # dims-matched workload
+        assert params["time_steps"] == 1000
+
+    def test_axis_validation(self):
+        assert "isas" in _err({**TUNE, "isas": []})
+        assert "isa" in _err({**TUNE, "isas": ["neon"]})
+        assert "methods" in _err({**TUNE, "methods": []})
+        _err({**TUNE, "methods": ["nope"]})
+        assert "m" in _err({**TUNE, "m_values": [0]})
+        assert "budget" in _err({**TUNE, "budget": 99})
+        assert "objective" in _err({**TUNE, "objective": "latency"})
+        assert "shape" in _err({**TUNE, "shape": [64, 64]})  # 2-D for a 1-D stencil
+
+    def test_isas_are_deduped_and_canonically_ordered(self):
+        params = normalize({**TUNE, "isas": ["avx512", "avx2", "avx512"]}).params
+        assert params["isas"] == ["avx2", "avx512"]
+
+    def test_key_identity(self):
+        base = normalize(TUNE)
+        assert normalize({**TUNE, "isas": ["avx2", "avx512"]}).key == base.key
+        assert normalize({**TUNE, "budget": 2}).key != base.key
+        assert normalize({**TUNE, "stencil": "2d9p"}).key != base.key
+
+
+class TestCandidateExpansion:
+    def test_expansion_is_deterministic_and_indexed(self):
+        params = normalize(TUNE).params
+        a = expand_tune_candidates(params)
+        b = expand_tune_candidates(params)
+        assert a == b
+        assert [c["index"] for c in a] == list(range(len(a)))
+
+    def test_expansion_matches_the_in_process_space(self):
+        from repro.autotune import SearchSpace, expand_candidates
+        from repro.stencils.library import get_benchmark
+
+        spec = get_benchmark("1d-heat").spec
+        params = normalize(TUNE).params
+        assert expand_tune_candidates(params) == expand_candidates(
+            spec, SearchSpace.for_spec(spec)
+        )
+
+
+class TestExecution:
+    def test_tune_response_matches_the_library(self, tmp_path):
+        from repro.autotune import autotune
+
+        async def scenario(service):
+            return await service.handle_request(dict(TUNE))
+
+        status, envelope = drive(_config(tmp_path), scenario)
+        assert status == 200
+        result = envelope["result"]
+        params = normalize(TUNE).params
+        expected = autotune(
+            "1d-heat",
+            budget=0,
+            shape=params["shape"],
+            time_steps=params["time_steps"],
+        ).to_dict()
+        assert result["winner"] == expected["winner"]
+        assert result["ledger"] == expected["ledger"]
+
+    def test_sharded_equals_unsharded(self, tmp_path):
+        request = normalize(TUNE)
+        candidates = expand_tune_candidates(request.params)
+        assert len(candidates) > 1
+
+        async def scenario(service):
+            unsharded = await service.pool.run(request.to_payload(), key=request.key)
+            sharded = await service.pool.run_tune(
+                dict(request.to_payload()), candidates, 4, key=request.key
+            )
+            return unsharded, sharded
+
+        unsharded, sharded = drive(_config(tmp_path), scenario)
+        assert sharded == unsharded
+
+    def test_repeat_requests_hit_the_cache(self, tmp_path):
+        async def scenario(service):
+            first = await service.handle_request(dict(TUNE))
+            second = await service.handle_request(dict(TUNE))
+            return first, second
+
+        (s1, env1), (s2, env2) = drive(_config(tmp_path), scenario)
+        assert (s1, s2) == (200, 200)
+        assert env1["served_from"] == "computed"
+        assert env2["served_from"] == "memory"
+        assert env1["result"] == env2["result"]
+
+    def test_prune_ledger_travels_the_wire(self, tmp_path):
+        async def scenario(service):
+            return await service.handle_request(dict(TUNE))
+
+        _, envelope = drive(_config(tmp_path), scenario)
+        result = envelope["result"]
+        assert len(result["ledger"]) == result["prune_stats"]["generated"]
+        for row in result["ledger"]:
+            measured = row.get("measured_cycles_per_point") is not None
+            assert measured != (row.get("pruned_reason") is not None)
