@@ -111,63 +111,137 @@ def test_simulation_speed_2d(benchmark, artifact):
     assert speedup >= MIN_SPEEDUP
 
 
-@pytest.mark.benchmark(group="simulation-speed")
-def test_pass_ablation_replay(benchmark, artifact):
-    """Optimized vs unoptimized IR replay: counts must shrink, speed must hold.
+#: Noise floor for optimized-over-unoptimized replay wall clock.  The
+#: optimized program executes strictly fewer (or equally many) NumPy ops, so
+#: only scheduler noise sits between it and parity — the count and
+#: critical-path reductions below are the real perf signal, the wall clock
+#: only guards against a gross pipeline pessimisation.
+MIN_ABLATION_REPLAY = 0.9
 
-    1-D heat on AVX-512 exercises the pipeline's per-block wins (the
-    blend+rotate pairs assembling cross-block operands coalesce into single
-    two-source permutes) on top of the prologue CSE.  The count reduction is
-    exact and deterministic; replay wall-clock is only gated against gross
-    regression (the optimized program executes strictly fewer NumPy ops).
+#: Looser replay floor for the accumulator-splitting case, which executes a
+#: few *more* NumPy ops (extra partial seeds and merges) in exchange for the
+#: shorter serial chain — parity is not its claim, the critical path is.
+MIN_SPLIT_REPLAY = 0.7
+
+#: Pass-ablation cases: (stencil, isa, m, grid shape, steps, pipeline).
+#: ``pipeline=None`` means the default pipeline (``optimize=True``) with
+#: bit-identical replay; the split-accum case opts into the reassociating
+#: reduction splitter, whose replay is gated with ``allclose`` instead and
+#: whose perf signal is the critical-path reduction, not the op count.
+ABLATION_CASES = {
+    "pass-ablation-1d-heat-avx512": ("1d-heat", "avx512", 2, (1 << 15,), 8, None),
+    "pass-ablation-2d9p-avx2": ("2d9p", "avx2", 3, (128, 128), 6, None),
+    "pass-ablation-3d-heat-avx512": ("3d-heat", "avx512", 2, (16, 16, 16), 4, None),
+    "pass-ablation-split-accum-3d-heat-avx2": (
+        "3d-heat",
+        "avx2",
+        3,
+        (16, 16, 16),
+        3,
+        ("cse", "coalesce", "fuse-fma", "dce", "split-accum", "hoist", "reschedule"),
+    ),
+}
+
+
+def _best_of(repeats, fn):
+    """Min-of-N wall clock — the replays are ~ms-scale, so a single sample
+    would make the gated speed ratio hostage to scheduler noise."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.benchmark(group="simulation-speed")
+@pytest.mark.parametrize("case_name", sorted(ABLATION_CASES))
+def test_pass_ablation_replay(benchmark, artifact, case_name):
+    """Optimized vs unoptimized IR replay across 1-D/2-D/3-D cases.
+
+    Each case replays the same schedule with and without the IR pass
+    pipeline and records three deterministic deltas next to the (noisy)
+    wall clock: the simulated instruction-count reduction, the
+    dependency-graph critical-path reduction, and the graph's alias-analysis
+    summary (how many memory-op pairs the :class:`MemoryRef` model proved
+    independent).  The default-pipeline cases must stay bit-identical; the
+    split-accum case reassociates a reduction chain, so it is compared with
+    ``allclose`` and its perf signal is the critical path, not the count.
     """
-    p = repro.plan("1d-heat").method("folded").unroll(2).isa("avx512").compile()
-    grid = Grid.random((1 << 15,), seed=0)
-    steps = 8
+    from repro.ir.dependency import program_critical_path, program_stats
+    from repro.ir.passes import PassManager
+
+    stencil, isa, m, shape, steps, pipeline = ABLATION_CASES[case_name]
+    exact = pipeline is None
+    optimize = True if pipeline is None else pipeline
+    p = repro.plan(stencil).method("folded").unroll(m).isa(isa).compile()
+    grid = Grid.random(shape, seed=0)
     # Warm-up compiles (and caches) both variants.
     base_out, _ = p.simulate(grid, steps, backend="trace")
-    opt_out, _ = p.simulate(grid, steps, backend="trace", optimize=True)
-    np.testing.assert_array_equal(opt_out, base_out)
-
-    def best_of(repeats, fn):
-        """Min-of-N wall clock — the replays are ~ms-scale, so a single
-        sample would make the gated speed ratio hostage to scheduler noise."""
-        best = float("inf")
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - t0)
-        return best
+    opt_out, _ = p.simulate(grid, steps, backend="trace", optimize=optimize)
+    if exact:
+        np.testing.assert_array_equal(opt_out, base_out)
+    else:
+        np.testing.assert_allclose(opt_out, base_out, rtol=1e-12, atol=1e-12)
 
     machine_b = SimdMachine(p.isa_spec)
-    base_s = best_of(7, lambda: p.simulate(grid, steps, backend="trace"))
+    base_s = _best_of(7, lambda: p.simulate(grid, steps, backend="trace"))
     p.simulate(grid, steps, machine=machine_b, backend="trace")
 
     machine_o = SimdMachine(p.isa_spec)
-    opt_s = best_of(7, lambda: p.simulate(grid, steps, backend="trace", optimize=True))
-    p.simulate(grid, steps, machine=machine_o, backend="trace", optimize=True)
+    opt_s = _best_of(
+        7, lambda: p.simulate(grid, steps, backend="trace", optimize=optimize)
+    )
+    p.simulate(grid, steps, machine=machine_o, backend="trace", optimize=optimize)
 
-    run_once(benchmark, p.simulate, grid, steps, optimize=True)
+    run_once(benchmark, p.simulate, grid, steps, optimize=optimize)
     count_reduction = machine_b.counts.total / machine_o.counts.total
     replay_speedup = base_s / opt_s
-    artifact["pass-ablation-1d-heat-avx512"] = {
+
+    # Deterministic graph-side deltas of the same two programs.
+    raw_ir = p.schedule.schedule_ir(p.isa_spec.vector_lanes, optimize=False)
+    opt_ir, _reports = PassManager(optimize).run(raw_ir)
+    cp_before = program_critical_path(raw_ir)
+    cp_after = program_critical_path(opt_ir)
+    stats = program_stats(opt_ir)
+    graph = {
+        "nodes": sum(s.nodes for s in stats.values()),
+        "def_use_edges": sum(s.def_use_edges for s in stats.values()),
+        "memory_edges": sum(s.memory_edges for s in stats.values()),
+        "memory_edges_broken": sum(s.memory_edges_broken for s in stats.values()),
+    }
+
+    artifact[case_name] = {
         "kind": "pass-ablation",
         "grid": list(grid.values.shape),
         "steps": steps,
+        "pipeline": "default" if pipeline is None else list(pipeline),
         "unoptimized_seconds": base_s,
         "optimized_seconds": opt_s,
         "replay_speedup": replay_speedup,
         "unoptimized_instructions": machine_b.counts.total,
         "optimized_instructions": machine_o.counts.total,
         "count_reduction": count_reduction,
+        "critical_path_before_cycles": cp_before,
+        "critical_path_after_cycles": cp_after,
+        "critical_path_reduction": cp_before / cp_after if cp_after else 1.0,
+        "graph": graph,
     }
     print(
-        f"\npass ablation 1-D avx512: {machine_b.counts.total:.0f} -> "
+        f"\n{case_name}: {machine_b.counts.total:.0f} -> "
         f"{machine_o.counts.total:.0f} instr ({count_reduction:.3f}x), "
+        f"cp {cp_before:g} -> {cp_after:g} cyc "
+        f"({cp_before / cp_after if cp_after else 1.0:.2f}x), "
         f"replay {base_s:.4f}s -> {opt_s:.4f}s ({replay_speedup:.2f}x)"
     )
-    assert count_reduction > 1.0
-    assert replay_speedup >= 0.75
+    if exact:
+        assert count_reduction > 1.0
+        assert replay_speedup >= MIN_ABLATION_REPLAY
+    else:
+        # The splitter trades a few extra merge/seed ops for a shorter
+        # serial chain; the critical path is the gated signal here.
+        assert cp_before / cp_after > 1.0
+        assert replay_speedup >= MIN_SPLIT_REPLAY
 
 
 @pytest.mark.benchmark(group="simulation-speed")

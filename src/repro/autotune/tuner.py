@@ -34,6 +34,7 @@ from repro.autotune.space import (
     measurability,
     tiling_config,
 )
+from repro.ir.passes import DEFAULT_PASSES
 from repro.machine import MachineSpec, isa_variant, machine_for_isa
 from repro.simd.isa import isa_for
 from repro.stencils.library import BenchmarkCase, get_benchmark
@@ -317,6 +318,10 @@ def assemble_result(
         "seed": int(seed),
         "prune_ratio": PRUNE_RATIO,
         "stencil_spec": spec,
+        # The predict stage scores candidates on the default-pipeline
+        # optimized IR; pin the pass line-up so a ledger is reproducible
+        # against the exact pipeline that ranked it.
+        "ir_passes": list(DEFAULT_PASSES),
     }
     return TuneResult(
         stencil=stencil,

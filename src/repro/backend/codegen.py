@@ -287,9 +287,14 @@ def generate_kernel_source(ir: ScheduleIR) -> Tuple[str, Dict[str, object]]:
         emitter.emit("return out")
         return "\n".join(emitter.lines) + "\n", emitter.namespace
 
-    vertical = ir.segment("vertical")
-    horizontal = ir.segment("horizontal")
-    live_after = _flatten_reads(ir, [vertical, horizontal])
+    if any(seg.trip == "pipelined" for seg in ir.segments):
+        # Software-pipelined form: one merged segment (the "prime" accounting
+        # copy is never executed — the kernel covers every square at once,
+        # exactly like the batched replay).
+        stages = [ir.segment("pipelined")]
+    else:
+        stages = [ir.segment("vertical"), ir.segment("horizontal")]
+    live_after = _flatten_reads(ir, stages)
     if ir.dims == 3:
         emitter.emit("planes = values.shape[0]")
     else:
@@ -303,7 +308,8 @@ def generate_kernel_source(ir: ScheduleIR) -> Tuple[str, Dict[str, object]]:
     emitter.emit("grid3 = values.reshape(planes, rows, cols)")
     needs_gather = any(
         op.opcode == "load" and not (op.tag[1] == 0 and 0 <= op.tag[2] < vl)
-        for op in vertical.ops
+        for seg in stages
+        for op in seg.ops
     )
     if needs_gather:
         emitter.emit("_ap = _np.arange(planes)")
@@ -329,10 +335,10 @@ def generate_kernel_source(ir: ScheduleIR) -> Tuple[str, Dict[str, object]]:
             return src
         return f"_np.roll({src}, {-delta}, axis=2)"
 
-    emitter.emit_ops(vertical.ops, load_expr, store_stmt, input_expr, live_after, 0)
-    emitter.emit_ops(
-        horizontal.ops, load_expr, store_stmt, input_expr, live_after, len(vertical.ops)
-    )
+    base = 0
+    for seg in stages:
+        emitter.emit_ops(seg.ops, load_expr, store_stmt, input_expr, live_after, base)
+        base += len(seg.ops)
     emitter.emit("return out")
     return "\n".join(emitter.lines) + "\n", emitter.namespace
 

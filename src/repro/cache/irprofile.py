@@ -99,7 +99,22 @@ def ir_access_stream(
 
 
 def _segment_mem_ops(ir: ScheduleIR, name: str):
-    return [op for op in ir.segment(name).ops if op.is_memory]
+    """Memory ops of stage ``name``, tolerant of software-pipelined programs.
+
+    A pipelined program merges the vertical/horizontal stages into one
+    ``pipelined`` segment; its memory ops partition cleanly by tag family
+    (vertical row loads vs. horizontal ``out_row`` stores), so the stage-wise
+    address-stream generators keep working on the merged form.
+    """
+    try:
+        return [op for op in ir.segment(name).ops if op.is_memory]
+    except KeyError:
+        merged = ir.segment("pipelined")
+        if name == "vertical":
+            return [op for op in merged.ops if op.opcode == "load"]
+        if name == "horizontal":
+            return [op for op in merged.ops if op.opcode == "store"]
+        raise
 
 
 def _stream_1d(

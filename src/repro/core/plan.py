@@ -817,6 +817,9 @@ class CompiledPlan:
         ir_line = self._ir_pipeline_description()
         if ir_line is not None:
             lines.append(f"  ir pipeline    : {ir_line}")
+        graph_line = self._dependency_graph_description()
+        if graph_line is not None:
+            lines.append(f"  dep graph      : {graph_line}")
         try:
             profile = self.profile()
         except (TypeError, ValueError):
@@ -866,7 +869,43 @@ class CompiledPlan:
             r.describe() for r in reports if r.removed or r.spills_after != r.spills_before
         ]
         detail = "; ".join(effective) if effective else "no pass fired"
-        return f"{before:g} → {after:g} static ops ({detail})"
+        line = f"{before:g} → {after:g} static ops ({detail})"
+        cp_before = reports[0].critical_path_before
+        cp_after = reports[-1].critical_path_after
+        if cp_before or cp_after:
+            line += f"; critical path {cp_before:g} → {cp_after:g} cyc"
+        return line
+
+    def _dependency_graph_description(self) -> Optional[str]:
+        """Per-segment dependency-graph statistics of the optimized program.
+
+        One clause per steady-state segment: node count, def-use and memory
+        edge counts, how many memory-op pairs the alias analysis proved
+        independent ("broken"), and the latency-weighted critical path.
+        """
+        if (
+            self.schedule is None
+            or not self.descriptor.supports_simulation
+            or self.spec.dims not in self.descriptor.simulation_dims
+        ):
+            return None
+        try:
+            compiled = self._compiled_sweep(
+                self.schedule, self.isa_spec, self.spec.dims, optimize=True
+            )
+        except ValueError:
+            return None
+        from repro.ir.dependency import program_stats
+
+        stats = program_stats(compiled.ir)
+        if not stats:
+            return None
+        clauses = [
+            f"{name}: {s.nodes} nodes, {s.def_use_edges} def-use + {s.memory_edges} mem edges "
+            f"({s.memory_edges_broken} broken by aliasing), cp {s.critical_path_cycles:g} cyc"
+            for name, s in stats.items()
+        ]
+        return "; ".join(clauses)
 
     def _path_description(self) -> str:
         if self.descriptor.describe_path is not None:

@@ -168,8 +168,24 @@ class CompiledSweep:
             self._block_prog = _SegmentProgram(ir.segment("block").ops, vl)
         else:
             vt_vids = {vid for cols in ir.vt_out for vid in cols}
-            self._vertical_prog = _SegmentProgram(ir.segment("vertical").ops, vl, keep=vt_vids)
-            self._horizontal_prog = _SegmentProgram(ir.segment("horizontal").ops, vl)
+            trips = {seg.trip for seg in ir.segments}
+            if "pipelined" in trips:
+                # Software-pipelined form: one merged segment interleaves the
+                # vertical and horizontal stages (its dependency edges keep
+                # every vt definition ahead of the stage inputs reading it);
+                # the "prime" accounting segment is never executed — the
+                # batched replay covers every square in one pass.
+                self._pipelined_prog = _SegmentProgram(
+                    ir.segment("pipelined").ops, vl, keep=vt_vids
+                )
+                self._vertical_prog = None
+                self._horizontal_prog = None
+            else:
+                self._pipelined_prog = None
+                self._vertical_prog = _SegmentProgram(
+                    ir.segment("vertical").ops, vl, keep=vt_vids
+                )
+                self._horizontal_prog = _SegmentProgram(ir.segment("horizontal").ops, vl)
 
     # ------------------------------------------------------------------ #
     # replay
@@ -228,21 +244,35 @@ class CompiledSweep:
             return grid3[np.ix_(zsel, rowsel)].reshape(planes, nrb, ncb, vl)
 
         env = list(self._base_env)
-        self._vertical_prog.run(env, load_fn=load_fn)
-        vt_arrays = [[env[vid] for vid in col_vids] for col_vids in self.ir.vt_out]
-
-        def input_fn(tag):
-            _, delta, ci, k = tag
-            arr = vt_arrays[ci][k]
-            if delta == 0:
-                return arr
-            return np.roll(arr, -delta, axis=2)
 
         def store_fn(tag, val):
             _, oi = tag
             out5[:, :, oi] = val
 
-        self._horizontal_prog.run(env, store_fn=store_fn, input_fn=input_fn)
+        if self._pipelined_prog is not None:
+
+            def input_fn(tag):
+                _, delta, ci, k = tag
+                arr = env[self.ir.vt_out[ci][k]]
+                if delta == 0:
+                    return arr
+                return np.roll(arr, -delta, axis=2)
+
+            self._pipelined_prog.run(
+                env, load_fn=load_fn, store_fn=store_fn, input_fn=input_fn
+            )
+        else:
+            self._vertical_prog.run(env, load_fn=load_fn)
+            vt_arrays = [[env[vid] for vid in col_vids] for col_vids in self.ir.vt_out]
+
+            def input_fn(tag):
+                _, delta, ci, k = tag
+                arr = vt_arrays[ci][k]
+                if delta == 0:
+                    return arr
+                return np.roll(arr, -delta, axis=2)
+
+            self._horizontal_prog.run(env, store_fn=store_fn, input_fn=input_fn)
         if not self.transpose_back:
             from repro.core.vectorized_folding import (
                 _untranspose_plane_tiles,

@@ -273,3 +273,24 @@ class TestFluentApi:
         assert result.provenance["prune_ratio"] == PRUNE_RATIO
         assert result.provenance["space"]["methods"]
         assert result.provenance["workload"]["shape"]
+
+    def test_ir_pass_lineup_documented_in_provenance(self):
+        """The predict stage scores candidates on the default-pipeline
+        optimized IR; the ledger pins the exact pass line-up it ran under,
+        and that line-up includes the graph-enabled hoisting pass."""
+        from repro.ir.passes import DEFAULT_PASSES
+
+        result = autotune("1d-heat", budget=0)
+        assert result.provenance["ir_passes"] == list(DEFAULT_PASSES)
+        assert "hoist" in result.provenance["ir_passes"]
+
+    def test_ledger_deterministic_under_graph_passes(self):
+        """Regression for the graph-driven scheduler: two independent
+        predict-only searches (fresh caches, fresh schedules) must produce
+        identical ledgers — the dependency-graph construction and the
+        list-scheduling priorities contain no iteration-order nondeterminism."""
+        a = autotune("3d-heat", budget=0, seed=11)
+        b = autotune("3d-heat", budget=0, seed=11)
+        assert a.ledger == b.ledger
+        assert [rec.to_dict() for rec in a.ledger] == [rec.to_dict() for rec in b.ledger]
+        assert a.provenance["ir_passes"] == b.provenance["ir_passes"]

@@ -429,3 +429,94 @@ class TestCacheIrProfile:
         counts, _, spills = ir.sweep_counts(shape)
         assert profile["spill_loads"] == spills
         assert profile["loads"] + spills == counts.get(InstructionClass.LOAD)
+
+
+class TestPassAlgebra:
+    """Algebraic invariants of the registered passes.
+
+    Every registered pass — including the graph-enabled ``hoist``,
+    ``pipeline`` and ``split-accum`` — is idempotent: running it on its own
+    output is a no-op.  Order-independence is claimed (and pinned) only for
+    the pass pairs that provably commute on every linear library schedule;
+    the scheduler-interacting pairs (anything crossing ``reschedule`` or
+    ``split-accum``'s chain rewrites) are deliberately not claimed.
+    """
+
+    #: Pass pairs that commute on every linear library stencil × both ISAs
+    #: (verified over the raw lowerings; a pair is only listed here when the
+    #: two application orders produce structurally identical programs).
+    COMMUTING_PAIRS = (
+        ("cse", "coalesce"),
+        ("cse", "fuse-fma"),
+        ("cse", "dce"),
+        ("cse", "hoist"),
+        ("cse", "pipeline"),
+        ("coalesce", "fuse-fma"),
+        ("coalesce", "hoist"),
+        ("coalesce", "pipeline"),
+        ("coalesce", "split-accum"),
+        ("fuse-fma", "dce"),
+        ("fuse-fma", "hoist"),
+        ("fuse-fma", "split-accum"),
+        ("fuse-fma", "reschedule"),
+        ("dce", "hoist"),
+        ("dce", "pipeline"),
+        ("dce", "split-accum"),
+        ("dce", "reschedule"),
+        ("hoist", "pipeline"),
+        ("hoist", "reschedule"),
+    )
+
+    @staticmethod
+    def _raw_irs(isa):
+        for key in LINEAR_KEYS:
+            for m in (2, 3):
+                sched = FoldingSchedule(BENCHMARKS[key].spec, m)
+                if sched.radius > isa.vector_lanes:
+                    continue
+                yield key, m, sched.schedule_ir(isa.vector_lanes, optimize=False)
+
+    @pytest.mark.parametrize("isa", ISAS, ids=lambda isa: isa.name)
+    def test_every_registered_pass_is_idempotent(self, isa):
+        from repro.ir.passes import _PASS_REGISTRY
+
+        checked = 0
+        for key, m, ir in self._raw_irs(isa):
+            for name in _PASS_REGISTRY:
+                once = PassManager((name,)).run(ir)[0]
+                twice = PassManager((name,)).run(once)[0]
+                assert twice == once, f"{name} not idempotent on {key} m={m} {isa.name}"
+                checked += 1
+        assert checked > 0
+
+    @pytest.mark.parametrize("isa", ISAS, ids=lambda isa: isa.name)
+    def test_passes_idempotent_after_full_pipeline(self, isa):
+        """Idempotency must also hold on already-optimized programs (the
+        fixed point of the default pipeline)."""
+        from repro.ir.passes import _PASS_REGISTRY
+
+        for key, m, ir in self._raw_irs(isa):
+            opt = PassManager(True).run(ir)[0]
+            for name in _PASS_REGISTRY:
+                once = PassManager((name,)).run(opt)[0]
+                twice = PassManager((name,)).run(once)[0]
+                assert twice == once, f"{name} not idempotent post-pipeline on {key} m={m}"
+
+    @pytest.mark.parametrize("isa", ISAS, ids=lambda isa: isa.name)
+    def test_claimed_commuting_pairs_commute(self, isa):
+        for key, m, ir in self._raw_irs(isa):
+            for a, b in self.COMMUTING_PAIRS:
+                ab = PassManager((a, b)).run(ir)[0]
+                ba = PassManager((b, a)).run(ir)[0]
+                assert ab == ba, f"({a}, {b}) does not commute on {key} m={m} {isa.name}"
+
+    def test_default_pipeline_is_a_fixed_point(self):
+        """Running the whole default pipeline twice changes nothing."""
+        for key in LINEAR_KEYS:
+            sched = FoldingSchedule(BENCHMARKS[key].spec, 2)
+            ir = sched.schedule_ir(4, optimize=False)
+            if ir is None:
+                continue
+            once = PassManager(True).run(ir)[0]
+            twice = PassManager(True).run(once)[0]
+            assert twice == once
